@@ -1,0 +1,77 @@
+"""Fig 9 — MPI4Spark-Basic vs MPI4Spark-Optimized vs Vanilla Spark.
+
+Paper: "MPI4Spark-Optimized performs better than the MPI4Spark-Basic
+[because] constant polling in the selector thread was consuming CPU time
+hence starving the actual compute tasks." GroupByTest and SortByTest at
+28 GB / 112 cores and 56 GB / 224 cores on Frontera.
+"""
+
+import pytest
+
+from benchmarks.conftest import OHB_FIDELITY, run_once
+from repro.harness.experiments import _run_ohb
+from repro.harness.report import render_ohb
+from repro.util.units import GiB
+from repro.workloads.ohb import GROUP_BY, SORT_BY
+
+
+@pytest.fixture(scope="module")
+def cells():
+    out = []
+    for workload in (GROUP_BY, SORT_BY):
+        for n_workers, data in ((2, 28 * GiB),):
+            for transport in ("nio", "mpi-basic", "mpi-opt"):
+                out.append(_run_ohb(workload, n_workers, data, transport, OHB_FIDELITY))
+    return out
+
+
+def test_fig9_runs(benchmark, cells):
+    cell = run_once(
+        benchmark, _run_ohb, GROUP_BY, 2, 28 * GiB, "mpi-basic", OHB_FIDELITY
+    )
+    print()
+    print(render_ohb(cells, "Fig 9 — Basic vs Optimized vs Vanilla (Frontera)"))
+    assert cell.total_seconds > 0
+    # Headline shape: Optimized beats Basic on both workloads, and Basic's
+    # polling inflates its compute stages past vanilla's.
+    for workload in ("GroupByTest", "SortByTest"):
+        per = {c.transport: c for c in cells if c.workload == workload}
+        assert per["mpi-opt"].total_seconds < per["mpi-basic"].total_seconds
+        assert (
+            per["mpi-basic"].result.stage_seconds["Job0-ResultStage"]
+            > per["nio"].result.stage_seconds["Job0-ResultStage"]
+        )
+
+
+class TestFig9Shape:
+    def _by(self, cells, workload, transport):
+        return next(
+            c for c in cells if c.workload == workload and c.transport == transport
+        )
+
+    @pytest.mark.parametrize("workload", ["GroupByTest", "SortByTest"])
+    def test_optimized_beats_basic(self, cells, workload):
+        basic = self._by(cells, workload, "mpi-basic")
+        opt = self._by(cells, workload, "mpi-opt")
+        assert opt.total_seconds < basic.total_seconds
+
+    @pytest.mark.parametrize("workload", ["GroupByTest", "SortByTest"])
+    def test_basic_compute_stages_inflated_by_polling(self, cells, workload):
+        # The polling tax shows up in the compute-heavy stages.
+        basic = self._by(cells, workload, "mpi-basic")
+        vanilla = self._by(cells, workload, "nio")
+        assert (
+            basic.result.stage_seconds["Job0-ResultStage"]
+            > vanilla.result.stage_seconds["Job0-ResultStage"]
+        )
+
+    @pytest.mark.parametrize("workload", ["GroupByTest", "SortByTest"])
+    def test_basic_shuffle_read_still_fast(self, cells, workload):
+        # Basic's wire path is MPI: its shuffle read beats vanilla's even
+        # though polling hurts everything else.
+        basic = self._by(cells, workload, "mpi-basic")
+        vanilla = self._by(cells, workload, "nio")
+        assert (
+            basic.result.shuffle_read_seconds()
+            < vanilla.result.shuffle_read_seconds()
+        )

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""OHB GroupByTest on the simulated Frontera cluster, across transports.
+
+Reproduces one cell of the paper's Fig-10: a 28 GiB GroupByTest on 2
+Frontera workers (112 cores), run under Vanilla Spark (IPoIB), RDMA-Spark
+and MPI4Spark (both designs), printing the per-stage breakdown.
+
+Run:  python examples/cluster_shuffle.py
+"""
+
+from repro.harness.systems import FRONTERA
+from repro.spark.deploy import SparkSimCluster
+from repro.util.units import GiB, fmt_time
+from repro.workloads.ohb import GROUP_BY
+
+TRANSPORTS = ["nio", "rdma", "mpi-basic", "mpi-opt"]
+LEGEND = {
+    "nio": "Vanilla Spark (IPoIB)",
+    "rdma": "RDMA-Spark",
+    "mpi-basic": "MPI4Spark-Basic",
+    "mpi-opt": "MPI4Spark-Optimized",
+}
+
+
+def main() -> None:
+    n_workers, data = 2, 28 * GiB
+    results = {}
+    for transport in TRANSPORTS:
+        sim = SparkSimCluster(FRONTERA, n_workers, transport)
+        sim.launch()
+        profile = GROUP_BY.build_profile(FRONTERA, n_workers, data, fidelity=0.25)
+        results[transport] = sim.run_profile(profile)
+        sim.shutdown()
+
+    print(f"GroupByTest, {data >> 30} GiB on {n_workers} Frontera workers "
+          f"({n_workers * 56} cores)\n")
+    stage_labels = list(results["nio"].stage_seconds)
+    header = f"{'stage':26s}" + "".join(f"{LEGEND[t]:>24s}" for t in TRANSPORTS)
+    print(header)
+    for label in stage_labels:
+        row = f"{label:26s}"
+        for t in TRANSPORTS:
+            row += f"{fmt_time(results[t].stage_seconds[label]):>24s}"
+        print(row)
+    row = f"{'TOTAL':26s}"
+    for t in TRANSPORTS:
+        row += f"{fmt_time(results[t].total_seconds):>24s}"
+    print(row)
+
+    vanilla = results["nio"]
+    mpi = results["mpi-opt"]
+    print(f"\nMPI4Spark-Optimized vs Vanilla: "
+          f"{vanilla.total_seconds / mpi.total_seconds:.2f}x total, "
+          f"{vanilla.shuffle_read_seconds() / mpi.shuffle_read_seconds():.2f}x "
+          f"shuffle read")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""Experiment harness: system configs (Table III), workload profiles,
+per-figure experiment drivers and report rendering."""
+
+from repro.harness.pingpong import PingPongResult, run_pingpong
+from repro.harness.profile import (
+    ComputeStage,
+    ShuffleReadStage,
+    ShuffleWriteStage,
+    WorkloadProfile,
+    scaled_read_matrices,
+    spread_cpu,
+)
+from repro.harness.systems import (
+    FRONTERA,
+    INTERNAL_CLUSTER,
+    STAMPEDE2,
+    SYSTEMS,
+    SystemConfig,
+)
+
+__all__ = [
+    "SystemConfig",
+    "FRONTERA",
+    "STAMPEDE2",
+    "INTERNAL_CLUSTER",
+    "SYSTEMS",
+    "WorkloadProfile",
+    "ComputeStage",
+    "ShuffleWriteStage",
+    "ShuffleReadStage",
+    "scaled_read_matrices",
+    "spread_cpu",
+    "run_pingpong",
+    "PingPongResult",
+]

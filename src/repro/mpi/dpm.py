@@ -1,0 +1,126 @@
+"""Dynamic Process Management: MPI_Comm_spawn_multiple.
+
+This is the feature MPI4Spark leans on (paper Sec. V / Fig. 3): worker
+processes collectively spawn executor processes, producing
+
+* a fresh intracommunicator among the children (the paper's ``DPM_COMM``,
+  visible to children as their ``MPI_COMM_WORLD``), and
+* an intercommunicator bridging parents and children (the paper's
+  ``Intercomm``), returned to the parents and available to children via
+  ``proc.parent_comm`` (MPI's ``MPI_Comm_get_parent``).
+
+The call is collective over the parent communicator: every parent rank
+must call it, and — as the paper describes — the launch arguments are
+gathered across parents with ``MPI_Allgather`` before the spawn executes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Generator
+
+from repro.mpi.communicator import CommDescriptor, Group, Intercomm, Intracomm
+from repro.mpi.errors import SpawnError
+from repro.util.units import MS
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpi.runtime import MPIProcess
+
+# Cost of forking a JVM-hosted MPI process and wiring it into the world.
+# Startup is excluded from the paper's per-stage timings, so only the order
+# of magnitude matters; a JVM fork+handshake is tens of milliseconds.
+SPAWN_COST_S = 50 * MS
+
+
+@dataclass(frozen=True)
+class SpawnSpec:
+    """One executable specification for spawn_multiple.
+
+    ``main`` is the child's generator function ``main(proc)``; ``count``
+    children run it on ``node``.
+    """
+
+    main: Callable[["MPIProcess"], Generator]
+    node: int | str
+    count: int = 1
+    name: str = "child"
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise SpawnError(f"spawn count must be >= 1, got {self.count}")
+
+
+def spawn_multiple(
+    parent_comm: Intracomm, specs: list[SpawnSpec] | None, root: int = 0
+) -> Generator:
+    """Collective spawn. Returns the parent-side :class:`Intercomm`.
+
+    Arguments are significant at ``root`` only (like the MPI standard);
+    other ranks may pass None. All parents receive the same intercomm
+    handle semantics once the collective completes.
+    """
+    from repro.mpi.runtime import MPIProcess, RankSpec  # cycle guard
+
+    proc = parent_comm.proc
+    world = proc.world
+    rank = parent_comm.rank
+
+    # Paper, Sec. V: "an MPI_allgather was used across the workers to gather
+    # all the different arguments used for launching the executors."
+    gathered = yield from parent_comm.allgather(specs if rank == root else None)
+    root_specs = gathered[root]
+    if not root_specs:
+        raise SpawnError("spawn_multiple requires a non-empty spec list at root")
+
+    # Only the root materializes the children; everyone then learns the
+    # child gids through a broadcast (the "collective launch").
+    if rank == root:
+        children: list[MPIProcess] = []
+        child_rank_specs: list[RankSpec] = []
+        for spec in root_specs:
+            for _ in range(spec.count):
+                child_rank_specs.append(
+                    RankSpec(main=spec.main, node=spec.node, name=spec.name)
+                )
+        child_procs, child_desc = world.create_processes(
+            child_rank_specs, comm_name="DPM_COMM"
+        )
+        children = child_procs
+        child_gids = [p.gid for p in children]
+    else:
+        child_gids = None
+
+    child_gids = yield from parent_comm.bcast(child_gids, root)
+    yield proc.env.timeout(SPAWN_COST_S)
+
+    # Build the parent<->child intercommunicator. Context ids are agreed by
+    # allocating at root and broadcasting — every rank's descriptor must
+    # carry the same identity for matching to line up.
+    if rank == root:
+        inter_desc = CommDescriptor(
+            "PARENT_CHILD_INTERCOMM",
+            local_group=parent_comm.desc.local_group,
+            remote_group=Group(child_gids),
+        )
+        inter_ctx = (inter_desc.ctx_pt2pt, inter_desc.ctx_coll)
+    else:
+        inter_ctx = None
+    inter_ctx = yield from parent_comm.bcast(inter_ctx, root)
+    if rank != root:
+        inter_desc = CommDescriptor(
+            "PARENT_CHILD_INTERCOMM",
+            local_group=parent_comm.desc.local_group,
+            remote_group=Group(child_gids),
+            ctx=inter_ctx,
+        )
+
+    parent_intercomm = Intercomm(proc, inter_desc)
+
+    # Children see the mirrored intercomm and then start running.
+    if rank == root:
+        child_side_desc = inter_desc.mirrored()
+        for child in children:
+            child.parent_comm = Intercomm(child, child_side_desc)
+            child.start()
+
+    return parent_intercomm

@@ -1,0 +1,19 @@
+"""MPI runtime error types."""
+
+from __future__ import annotations
+
+
+class MPIError(RuntimeError):
+    """Base class for MPI runtime failures."""
+
+
+class CommError(MPIError):
+    """Invalid communicator usage (bad rank, wrong group, freed comm)."""
+
+
+class TagError(MPIError):
+    """Tag outside the valid user range."""
+
+
+class SpawnError(MPIError):
+    """Dynamic Process Management failure."""

@@ -1,0 +1,252 @@
+"""The MPI world: simulated ranks, routing, and the wire protocol.
+
+:class:`MPIWorld` owns every simulated MPI process across all worlds
+(``MPI_COMM_WORLD`` plus DPM-spawned child worlds), routes envelopes
+through per-pair in-order *pipes* (giving MPI's non-overtaking guarantee),
+and implements the eager/rendezvous protocol switch:
+
+* **eager** (≤ ``WireModel.rendezvous_threshold``): the payload rides the
+  envelope; the send completes after the sender-side overhead. Matching
+  from the unexpected queue pays an extra buffering copy.
+* **rendezvous**: the envelope is a small RTS; when the receiver matches it,
+  a CTS returns and the bulk payload moves — so *when the receive is
+  posted* directly shapes transfer latency. This is the semantics the
+  MPI4Spark-Optimized design exploits by posting ``MPI_Recv`` from the
+  header-parsing channel handler.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Generator
+
+from repro.mpi.communicator import Comm, CommDescriptor, Group, Intercomm, Intracomm
+from repro.mpi.envelope import RTS_BYTES, Envelope, Protocol
+from repro.mpi.errors import MPIError
+from repro.mpi.matching import MatchingEngine, PostedRecv
+from repro.mpi.request import Request
+from repro.mpi.status import ANY_SOURCE, ANY_TAG
+from repro.simnet.engine import SimEngine
+from repro.simnet.interconnect import WireModel
+from repro.simnet.resources import Store
+from repro.simnet.topology import SimCluster, SimNode
+from repro.util.serialization import sizeof
+from repro.util.units import GiB
+
+# Copying an eager payload out of the unexpected queue (bounce buffer).
+UNEXPECTED_COPY_S_PER_BYTE = 1.0 / (8.0 * GiB)
+
+
+class MPIProcess:
+    """One simulated MPI rank (may belong to several communicators)."""
+
+    def __init__(self, world: "MPIWorld", gid: int, node: SimNode, name: str) -> None:
+        self.world = world
+        self.gid = gid
+        self.node = node
+        self.name = name
+        self.env = world.env
+        self.matching = MatchingEngine(world.env, self._on_match)
+        self.comm_world: Intracomm | None = None  # set by launch/spawn
+        self.parent_comm: Intercomm | None = None  # set for DPM children
+        self.sim_process = None  # the kernel Process running main()
+        self._main: Callable[["MPIProcess"], Generator] | None = None
+
+    def start(self) -> None:
+        """Begin executing this rank's main() as a simulation process."""
+        if self._main is None:
+            raise MPIError(f"{self.name} has no main function")
+        if self.sim_process is not None:
+            raise MPIError(f"{self.name} already started")
+        self.sim_process = self.env.process(
+            self._main(self), name=f"mpi:{self.name}"
+        )
+
+    # -- send side -----------------------------------------------------------
+    def _send(
+        self,
+        dst_gid: int,
+        src_rank: int,
+        context_id: int,
+        tag: int,
+        payload: Any,
+        nbytes: int | None,
+    ) -> Generator:
+        """Blocking send: eager returns after local overhead; rendezvous
+        returns once the payload has been pulled by the receiver."""
+        model = self.world.model
+        size = sizeof(payload) if nbytes is None else int(nbytes)
+        yield self.env.timeout(model.sender_cpu_time(size))
+        if size <= model.rendezvous_threshold:
+            envl = Envelope(
+                self.gid, src_rank, dst_gid, context_id, tag, payload, size,
+                Protocol.EAGER,
+            )
+            self.world._route(envl)
+            return
+        done = self.env.event()
+        envl = Envelope(
+            self.gid, src_rank, dst_gid, context_id, tag, payload, size,
+            Protocol.RENDEZVOUS, send_done=done,
+        )
+        self.world._route(envl)
+        yield done
+
+    def _isend(
+        self,
+        dst_gid: int,
+        src_rank: int,
+        context_id: int,
+        tag: int,
+        payload: Any,
+        nbytes: int | None,
+    ) -> Request:
+        req = Request(self.env, "send")
+        size = sizeof(payload) if nbytes is None else int(nbytes)
+        req.status.nbytes = size
+
+        def _run() -> Generator:
+            yield from self._send(dst_gid, src_rank, context_id, tag, payload, size)
+
+        proc = self.env.process(_run(), name=f"isend:{self.name}")
+        proc.add_callback(
+            lambda ev: req.event.succeed() if ev.ok else req.event.fail(ev.value)
+        )
+        return req
+
+    # -- recv side -----------------------------------------------------------
+    def _irecv(self, source: int, tag: int, context_id: int) -> Request:
+        req = Request(self.env, "recv")
+        self.matching.post_recv(source, tag, context_id, req)
+        return req
+
+    def _on_match(self, envl: Envelope, posted: PostedRecv, buffered: bool) -> None:
+        """Matching engine found a (envelope, receive) pair: move the data."""
+        model = self.world.model
+
+        def _complete() -> Generator:
+            if envl.protocol is Protocol.RENDEZVOUS:
+                src_proc = self.world.process(envl.src_gid)
+                # CTS back to the sender, then the bulk payload.
+                yield from self.world.cluster.wire_path(
+                    self.node, src_proc.node, RTS_BYTES, model
+                )
+                yield from self.world.cluster.wire_path(
+                    src_proc.node, self.node, envl.nbytes, model
+                )
+                if envl.send_done is not None and not envl.send_done.triggered:
+                    envl.send_done.succeed()
+            delay = model.receiver_cpu_time(envl.nbytes)
+            if buffered and envl.protocol is Protocol.EAGER:
+                # Only eager payloads were actually parked in a bounce
+                # buffer; a rendezvous RTS carries no data to copy.
+                delay += envl.nbytes * UNEXPECTED_COPY_S_PER_BYTE
+            yield self.env.timeout(delay)
+            req = posted.request
+            req.status.source = envl.src_rank
+            req.status.tag = envl.tag
+            req.status.nbytes = envl.nbytes
+            req.event.succeed(envl.payload)
+
+        self.env.process(_complete(), name=f"match:{self.name}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<MPIProcess {self.name} gid={self.gid} on {self.node.name}>"
+
+
+class _Pipe:
+    """In-order delivery channel for one (src, dst) process pair."""
+
+    def __init__(self, world: "MPIWorld", src: MPIProcess, dst: MPIProcess) -> None:
+        self.world = world
+        self.src = src
+        self.dst = dst
+        self.store: Store = Store(world.env)
+        world.env.process(self._pump(), name=f"pipe:{src.gid}->{dst.gid}")
+
+    def _pump(self) -> Generator:
+        while True:
+            envl: Envelope = yield self.store.get()
+            yield from self.world.cluster.wire_path(
+                self.src.node, self.dst.node, envl.wire_bytes(), self.world.model
+            )
+            self.dst.matching.deliver(envl)
+
+
+@dataclass(frozen=True)
+class RankSpec:
+    """Where one rank runs and what it executes.
+
+    ``main`` is a generator function called as ``main(proc)``; its return
+    value becomes the rank's result.
+    """
+
+    main: Callable[[MPIProcess], Generator]
+    node: int | str | SimNode
+    name: str = "rank"
+
+
+class MPIWorld:
+    """Runtime owning all simulated MPI processes on one cluster."""
+
+    def __init__(self, env: SimEngine, cluster: SimCluster, model: WireModel) -> None:
+        self.env = env
+        self.cluster = cluster
+        self.model = model
+        self._gids = itertools.count(0)
+        self._procs: dict[int, MPIProcess] = {}
+        self._pipes: dict[tuple[int, int], _Pipe] = {}
+
+    # -- registry ------------------------------------------------------------
+    def process(self, gid: int) -> MPIProcess:
+        try:
+            return self._procs[gid]
+        except KeyError:
+            raise MPIError(f"no such MPI process gid={gid}") from None
+
+    def _route(self, envl: Envelope) -> None:
+        key = (envl.src_gid, envl.dst_gid)
+        pipe = self._pipes.get(key)
+        if pipe is None:
+            pipe = _Pipe(self, self.process(envl.src_gid), self.process(envl.dst_gid))
+            self._pipes[key] = pipe
+        pipe.store.put(envl)
+
+    # -- world creation --------------------------------------------------------
+    def create_processes(
+        self, specs: list[RankSpec], comm_name: str
+    ) -> tuple[list[MPIProcess], CommDescriptor]:
+        """Allocate processes and a world communicator descriptor (no start)."""
+        procs = []
+        for spec in specs:
+            gid = next(self._gids)
+            node = self.cluster.node(spec.node)
+            proc = MPIProcess(self, gid, node, f"{spec.name}#{gid}")
+            proc._main = spec.main
+            procs.append(proc)
+        for proc in procs:
+            self._procs[proc.gid] = proc
+        desc = CommDescriptor(comm_name, Group([p.gid for p in procs]))
+        for proc in procs:
+            proc.comm_world = Intracomm(proc, desc)
+        return procs, desc
+
+    def launch(
+        self, specs: list[RankSpec], comm_name: str = "MPI_COMM_WORLD"
+    ) -> list[MPIProcess]:
+        """mpiexec equivalent: start one simulated process per spec.
+
+        Each rank's ``main(proc)`` generator starts immediately; results are
+        available as ``proc.sim_process.value`` after ``env.run()``.
+        """
+        if not specs:
+            raise MPIError("launch of zero ranks")
+        procs, _ = self.create_processes(specs, comm_name)
+        for proc in procs:
+            proc.start()
+        return procs
+
+    def run(self, until: float | None = None) -> None:
+        """Convenience wrapper over the engine's run()."""
+        self.env.run(until=until)

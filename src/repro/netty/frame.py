@@ -1,0 +1,69 @@
+"""Wire frames: what actually crosses the transport between channels.
+
+Spark's ``MessageWithHeader`` (paper Fig. 6) is a header + body pair where
+the header encodes the frame length, message type and body size. We keep
+the header as *real encoded bytes* (so codecs round-trip bit-exactly) and
+the body as a payload reference with an explicit size — the analogue of
+Netty's zero-copy ``FileRegion`` that Spark uses for shuffle blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.netty.bytebuf import ByteBuf
+
+
+@dataclass
+class WireFrame:
+    """One framed message: encoded header bytes plus an optional body."""
+
+    header: bytes
+    body: Any = None
+    body_nbytes: int = 0
+
+    def __post_init__(self) -> None:
+        # A None body with body_nbytes > 0 is valid: the simulation often
+        # moves size-only payloads (the bytes are charged, not materialized).
+        if self.body_nbytes < 0:
+            raise ValueError(f"body_nbytes must be >= 0, got {self.body_nbytes}")
+
+    @property
+    def nbytes(self) -> int:
+        """Total frame size on the wire."""
+        return len(self.header) + self.body_nbytes
+
+    def header_buf(self) -> ByteBuf:
+        """The header wrapped for decoding."""
+        return ByteBuf(self.header)
+
+
+# Frame layout constants (mirroring Spark's MessageEncoder):
+#   8 bytes  frame length (header + body)
+#   1 byte   message type tag
+#   ...      message-specific header fields
+#   N bytes  body (not materialized in the header bytes)
+FRAME_LENGTH_SIZE = 8
+TYPE_TAG_SIZE = 1
+
+
+def encode_frame_header(type_tag: int, header_fields: bytes, body_nbytes: int) -> bytes:
+    """Build the on-wire header: length-prefix + type + fields."""
+    buf = ByteBuf()
+    frame_len = FRAME_LENGTH_SIZE + TYPE_TAG_SIZE + len(header_fields) + body_nbytes
+    buf.write_long(frame_len)
+    buf.write_byte(type_tag)
+    buf.write_bytes(header_fields)
+    return buf.to_bytes()
+
+
+def decode_frame_header(header: bytes) -> tuple[int, int, ByteBuf]:
+    """Split a header into (type_tag, body_nbytes, fields buffer)."""
+    buf = ByteBuf(header)
+    frame_len = buf.read_long()
+    type_tag = buf.read_byte()
+    body_nbytes = frame_len - len(header)
+    if body_nbytes < 0:
+        raise ValueError(f"frame length {frame_len} shorter than header {len(header)}")
+    return type_tag, body_nbytes, buf

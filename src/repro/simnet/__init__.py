@@ -1,0 +1,79 @@
+"""Discrete-event cluster/network simulator.
+
+This package is the hardware substitute for the paper's testbeds (TACC
+Frontera, TACC Stampede2 and OSU's internal IB-EDR cluster): a deterministic
+virtual-time kernel, node/NIC topology, per-protocol wire cost models and a
+TCP-like stream socket layer. Everything above (the MPI runtime, Netty and
+the Spark engine) runs as simulation processes on this kernel.
+"""
+
+from repro.simnet.engine import EmptySchedule, SimEngine
+from repro.simnet.events import (
+    AllOf,
+    AnyOf,
+    Condition,
+    Event,
+    Interrupt,
+    Process,
+    SimError,
+    Timeout,
+)
+from repro.simnet.interconnect import (
+    FABRICS,
+    IB_EDR,
+    IB_HDR,
+    OPA,
+    PROTOCOLS,
+    Fabric,
+    WireModel,
+    loopback,
+    mpi_over,
+    rdma_over,
+    tcp_over,
+)
+from repro.simnet.resources import Resource, Store, StoreCancelled
+from repro.simnet.sockets import (
+    ListeningSocket,
+    Segment,
+    SimSocket,
+    SocketAddress,
+    SocketError,
+    SocketStack,
+)
+from repro.simnet.topology import NetTrace, SimCluster, SimNode
+
+__all__ = [
+    "SimEngine",
+    "EmptySchedule",
+    "Event",
+    "Timeout",
+    "Process",
+    "Condition",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimError",
+    "Resource",
+    "Store",
+    "StoreCancelled",
+    "Fabric",
+    "WireModel",
+    "IB_HDR",
+    "IB_EDR",
+    "OPA",
+    "FABRICS",
+    "PROTOCOLS",
+    "tcp_over",
+    "rdma_over",
+    "mpi_over",
+    "loopback",
+    "SimCluster",
+    "SimNode",
+    "NetTrace",
+    "SocketStack",
+    "SocketAddress",
+    "SimSocket",
+    "ListeningSocket",
+    "Segment",
+    "SocketError",
+]

@@ -1,0 +1,140 @@
+"""The simulation engine: virtual clock + event scheduler.
+
+A :class:`SimEngine` owns the event heap and the ``now`` clock. All
+substrates (MPI runtime, Netty event loops, Spark executors, NIC models)
+share one engine per simulated cluster.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Iterable
+
+from repro.simnet.events import (
+    AllOf,
+    AnyOf,
+    Event,
+    Process,
+    SimError,
+    Timeout,
+)
+
+
+class EmptySchedule(SimError):
+    """Raised by :meth:`SimEngine.step` when no events remain."""
+
+
+class SimEngine:
+    """Virtual-time discrete-event scheduler.
+
+    >>> env = SimEngine()
+    >>> def hello(env):
+    ...     yield env.timeout(2.5)
+    ...     return "done at %g" % env.now
+    >>> p = env.process(hello(env))
+    >>> env.run()
+    >>> p.value
+    'done at 2.5'
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self.now: float = start_time
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = 0
+        self._active_process: Process | None = None
+
+    # -- scheduling ----------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+
+    @property
+    def active_process(self) -> Process | None:
+        """The process currently being resumed (None between steps)."""
+        return self._active_process
+
+    def peek(self) -> float:
+        """Time of the next scheduled event (``inf`` if none)."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process one scheduled event, advancing the clock to it."""
+        try:
+            when, _, event = heapq.heappop(self._heap)
+        except IndexError:
+            raise EmptySchedule("no scheduled events") from None
+        if when < self.now:
+            raise SimError(f"time went backwards: {when} < {self.now}")
+        self.now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for cb in callbacks or ():
+            cb(event)
+        if not event._ok and not callbacks and not isinstance(event, Process):
+            # A failed event nobody waited on would silently vanish.
+            raise event._value
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run until the schedule drains, ``until`` time passes, or an
+        ``until`` event triggers. Returns the event's value in that case.
+
+        Unhandled process failures propagate out of ``run`` so tests see
+        real tracebacks instead of hung simulations.
+        """
+        stop_event: Event | None = None
+        stop_time = float("inf")
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            stop_time = float(until)
+            if stop_time < self.now:
+                raise ValueError(f"until={stop_time} is in the past (now={self.now})")
+
+        while self._heap:
+            if stop_event is not None and stop_event.processed:
+                break
+            if self.peek() > stop_time:
+                self.now = stop_time
+                break
+            try:
+                when, _, event = heapq.heappop(self._heap)
+            except IndexError:  # pragma: no cover - guarded by while
+                break
+            self.now = when
+            callbacks, event.callbacks = event.callbacks, None
+            for cb in callbacks or ():
+                cb(event)
+            if isinstance(event, Process) and not event._ok and not callbacks:
+                # A process died and nobody is joining it: surface the error.
+                raise event._value
+            if stop_event is not None and event is stop_event:
+                if not event._ok:
+                    raise event._value
+                return event._value
+        if stop_event is not None and not stop_event.triggered:
+            raise SimError("run(until=event): schedule drained before event fired")
+        if stop_event is not None:
+            if not stop_event._ok:
+                raise stop_event._value
+            return stop_event._value
+        if stop_time != float("inf") and stop_time > self.now:
+            # The schedule drained before the horizon: time still passes.
+            self.now = stop_time
+        return None
+
+    # -- factories -----------------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(
+        self, gen: Generator[Event, Any, Any], name: str | None = None
+    ) -> Process:
+        return Process(self, gen, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)

@@ -1,0 +1,302 @@
+"""Discrete-event kernel: events, timeouts, processes, condition events.
+
+This is a from-scratch simpy-style kernel (simpy is not available offline).
+Simulation *processes* are Python generators that ``yield`` events; the
+engine resumes a process when the event it waits on triggers. The MPI
+runtime, the Netty event loops and the Spark executors in this reproduction
+are all simulation processes built on this kernel.
+
+Design notes:
+
+* An :class:`Event` triggers exactly once, either with a value
+  (:meth:`Event.succeed`) or an exception (:meth:`Event.fail`). Failing
+  events propagate into the waiting generator via ``throw`` so simulation
+  code uses ordinary ``try/except``.
+* :class:`Process` is itself an event that triggers when its generator
+  returns (value = the generator's return value) — processes can wait on
+  each other, which is how ``join`` semantics work everywhere above.
+* Determinism: events scheduled for the same timestamp fire in scheduling
+  order (a monotone sequence number breaks heap ties), so simulations are
+  exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simnet.engine import SimEngine
+
+# Sentinel distinguishing "not yet triggered" from a None value.
+_PENDING = object()
+
+
+class SimError(RuntimeError):
+    """Base class for kernel errors."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted.
+
+    ``cause`` carries the interrupter's reason (any object).
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence processes can wait on."""
+
+    __slots__ = ("env", "callbacks", "_value", "_ok")
+
+    def __init__(self, env: "SimEngine") -> None:
+        self.env = env
+        self.callbacks: list[Callable[[Event], None]] | None = []
+        self._value: Any = _PENDING
+        self._ok: bool = True
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value or exception."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if not self.triggered:
+            raise SimError("event not yet triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise SimError("event not yet triggered")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event with ``value`` and schedule its callbacks."""
+        if self.triggered:
+            raise SimError(f"event {self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event with an exception."""
+        if self.triggered:
+            raise SimError(f"event {self!r} already triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exc!r}")
+        self._ok = False
+        self._value = exc
+        self.env._schedule(self)
+        return self
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Run ``fn(event)`` when the event is processed.
+
+        If the event was already processed the callback runs immediately —
+        this is what lets a process wait on an event that fired in the past
+        (e.g. joining an already-finished process).
+        """
+        if self.callbacks is None:
+            fn(self)
+        else:
+            self.callbacks.append(fn)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "pending"
+        if self.triggered:
+            state = f"ok={self._ok} value={self._value!r}"
+        return f"<{type(self).__name__} {state}>"
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` simulated seconds in the future."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "SimEngine", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay=delay)
+
+
+class Initialize(Event):
+    """Internal: kicks off a new process on the next scheduler step."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "SimEngine") -> None:
+        super().__init__(env)
+        self._ok = True
+        self._value = None
+        env._schedule(self)
+
+
+class Process(Event):
+    """A running simulation process wrapping a generator.
+
+    The process is an event: it triggers with the generator's return value,
+    or fails with the exception that escaped the generator.
+    """
+
+    __slots__ = ("gen", "name", "_target", "_interrupts")
+
+    def __init__(
+        self,
+        env: "SimEngine",
+        gen: Generator[Event, Any, Any],
+        name: str | None = None,
+    ) -> None:
+        if not hasattr(gen, "throw"):
+            raise TypeError(f"process body must be a generator, got {gen!r}")
+        super().__init__(env)
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self._target: Event | None = None
+        self._interrupts: list[Interrupt] = []
+        init = Initialize(env)
+        init.add_callback(self._resume)
+        self._target = init
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current yield."""
+        if self.triggered:
+            raise SimError(f"cannot interrupt finished process {self.name}")
+        self._interrupts.append(Interrupt(cause))
+        target = self._target
+        if target is not None and not target.triggered:
+            # Detach from the waited-on event and wake immediately.
+            wakeup = Event(self.env)
+            wakeup._ok = True
+            wakeup._value = None
+            self.env._schedule(wakeup)
+            wakeup.add_callback(self._resume)
+            self._target = wakeup
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with ``event``'s outcome."""
+        env = self.env
+        env._active_process = self
+        while True:
+            try:
+                if self._interrupts:
+                    exc = self._interrupts.pop(0)
+                    next_event = self.gen.throw(exc)
+                elif event._ok:
+                    next_event = self.gen.send(event._value)
+                else:
+                    next_event = self.gen.throw(event._value)
+            except StopIteration as stop:
+                env._active_process = None
+                self._ok = True
+                self._value = stop.value
+                env._schedule(self)
+                return
+            except Interrupt as exc:
+                # An unhandled interrupt terminates the process "with cause".
+                env._active_process = None
+                self._ok = False
+                self._value = exc
+                env._schedule(self)
+                return
+            except BaseException as exc:
+                env._active_process = None
+                self._ok = False
+                self._value = exc
+                env._schedule(self)
+                return
+
+            if not isinstance(next_event, Event):
+                env._active_process = None
+                error = SimError(
+                    f"process {self.name!r} yielded non-event {next_event!r}"
+                )
+                self._ok = False
+                self._value = error
+                env._schedule(self)
+                return
+
+            self._target = next_event
+            if next_event.processed:
+                # Already-processed events resume synchronously (loop again).
+                event = next_event
+                continue
+            next_event.add_callback(self._resume)
+            env._active_process = None
+            return
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Process {self.name} {'done' if self.triggered else 'alive'}>"
+
+
+class Condition(Event):
+    """Composite event over several sub-events (see :class:`AllOf`/:class:`AnyOf`).
+
+    Completion is tracked through callbacks (``processed``), not the
+    ``triggered`` flag — :class:`Timeout` pre-sets its value at construction,
+    so ``triggered`` does not mean "has already happened".
+    """
+
+    __slots__ = ("events", "_needed", "_done")
+
+    def __init__(self, env: "SimEngine", events: Iterable[Event], wait_all: bool) -> None:
+        super().__init__(env)
+        self.events = tuple(events)
+        self._done: list[Event] = []
+        if not self.events:
+            self._ok = True
+            self._value = {}
+            env._schedule(self)
+            return
+        for ev in self.events:
+            if ev.env is not env:
+                raise SimError("condition mixes events from different engines")
+        self._needed = len(self.events) if wait_all else 1
+        for ev in self.events:
+            ev.add_callback(self._on_sub_event)
+
+    def _on_sub_event(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._done.append(event)
+        self._needed -= 1
+        if self._needed <= 0:
+            self.succeed({ev: ev._value for ev in self._done})
+
+
+class AllOf(Condition):
+    """Triggers when *all* sub-events have triggered (fails fast on failure)."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "SimEngine", events: Iterable[Event]) -> None:
+        super().__init__(env, events, wait_all=True)
+
+
+class AnyOf(Condition):
+    """Triggers when *any* sub-event triggers."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "SimEngine", events: Iterable[Event]) -> None:
+        super().__init__(env, events, wait_all=False)

@@ -1,0 +1,212 @@
+"""Shared-resource primitives for the simulation kernel.
+
+* :class:`Store` — an unbounded (or bounded) FIFO queue of items; the
+  building block for mailboxes, sockets and MPI matching queues.
+* :class:`Resource` — capacity-limited slots (CPU cores, NIC serialization).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Generator
+
+from repro.simnet.engine import SimEngine
+from repro.simnet.events import Event, SimError
+
+
+class StoreGet(Event):
+    """Pending get() on a :class:`Store`; triggers with the item."""
+
+    __slots__ = ("filter",)
+
+    def __init__(self, env: SimEngine, filt: Callable[[Any], bool] | None) -> None:
+        super().__init__(env)
+        self.filter = filt
+
+    def cancel(self) -> None:
+        """Withdraw the request (no-op if already satisfied)."""
+        if not self.triggered:
+            self.fail(StoreCancelled())
+
+
+class StoreCancelled(SimError):
+    """A pending Store.get() was cancelled before an item arrived."""
+
+
+class Store:
+    """A FIFO item queue with event-based ``put``/``get``.
+
+    ``get`` may carry a *filter*: the first queued item satisfying the
+    predicate is returned (this supports MPI tag matching). Items that no
+    getter wants stay queued — that is the "unexpected message queue".
+    """
+
+    def __init__(self, env: SimEngine, capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be > 0, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[StoreGet] = deque()
+        self._putters: Deque[tuple[Event, Any]] = deque()
+        self._nonempty_waiters: list[Event] = []
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> Event:
+        """Queue ``item``; the returned event triggers once it is accepted."""
+        ev = Event(self.env)
+        if len(self.items) < self.capacity:
+            self.items.append(item)
+            ev.succeed()
+            self._dispatch()
+            self._wake_nonempty()
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def when_nonempty(self) -> Event:
+        """Event triggering when an item is queued, *without* consuming it.
+
+        This is the selector primitive: Netty's ``Selector.select()`` must
+        learn a socket became readable without draining it.
+        """
+        ev = Event(self.env)
+        if self.items:
+            ev.succeed()
+        else:
+            self._nonempty_waiters.append(ev)
+        return ev
+
+    def _wake_nonempty(self) -> None:
+        if self._nonempty_waiters and self.items:
+            waiters, self._nonempty_waiters = self._nonempty_waiters, []
+            for ev in waiters:
+                if not ev.triggered:
+                    ev.succeed()
+
+    def get(self, filt: Callable[[Any], bool] | None = None) -> StoreGet:
+        """Take the first (matching) item; blocks the caller until one exists."""
+        ev = StoreGet(self.env, filt)
+        self._getters.append(ev)
+        self._dispatch()
+        return ev
+
+    def peek(self, filt: Callable[[Any], bool] | None = None) -> Any | None:
+        """Non-destructively return the first (matching) item, or None."""
+        if filt is None:
+            return self.items[0] if self.items else None
+        for item in self.items:
+            if filt(item):
+                return item
+        return None
+
+    def _dispatch(self) -> None:
+        # Satisfy getters in FIFO order; a getter whose filter matches no
+        # queued item stays pending without blocking later getters.
+        progressed = True
+        while progressed:
+            progressed = False
+            for getter in list(self._getters):
+                if getter.triggered:
+                    self._getters.remove(getter)
+                    progressed = True
+                    continue
+                idx = self._find(getter.filter)
+                if idx is None:
+                    continue
+                item = self.items[idx]
+                del self.items[idx]
+                self._getters.remove(getter)
+                getter.succeed(item)
+                progressed = True
+                # Space freed: admit a waiting putter.
+                while self._putters and len(self.items) < self.capacity:
+                    put_ev, put_item = self._putters.popleft()
+                    self.items.append(put_item)
+                    put_ev.succeed()
+                if self.items:
+                    self._wake_nonempty()
+
+    def _find(self, filt: Callable[[Any], bool] | None) -> int | None:
+        if filt is None:
+            return 0 if self.items else None
+        for i, item in enumerate(self.items):
+            if filt(item):
+                return i
+        return None
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource` slot."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.resource.release(self)
+
+
+class Resource:
+    """``capacity`` interchangeable slots (cores, NIC lanes).
+
+    Usage from a process::
+
+        req = cores.request()
+        yield req
+        try:
+            yield env.timeout(work)
+        finally:
+            cores.release(req)
+    """
+
+    def __init__(self, env: SimEngine, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.users: list[Request] = []
+        self.queue: Deque[Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self.users)
+
+    def request(self) -> Request:
+        req = Request(self)
+        if len(self.users) < self.capacity:
+            self.users.append(req)
+            req.succeed()
+        else:
+            self.queue.append(req)
+        return req
+
+    def release(self, req: Request) -> None:
+        """Return a slot; wakes the longest-waiting requester."""
+        if req in self.users:
+            self.users.remove(req)
+        elif req in self.queue:
+            self.queue.remove(req)
+            if not req.triggered:
+                req.fail(StoreCancelled())
+            return
+        else:
+            raise SimError("release() of a request this resource never granted")
+        while self.queue and len(self.users) < self.capacity:
+            nxt = self.queue.popleft()
+            self.users.append(nxt)
+            nxt.succeed()
+
+    def acquire(self) -> Generator[Event, Any, Request]:
+        """``yield from``-style helper returning the granted request."""
+        req = self.request()
+        yield req
+        return req

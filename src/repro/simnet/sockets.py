@@ -1,0 +1,230 @@
+"""Simulated stream sockets (the TCP/IPoIB path).
+
+Netty's NIO transport rides on these: connection establishment is a
+SYN/SYN-ACK round trip, each direction of an established socket is an
+in-order byte stream, and every segment pays the TCP wire model's costs.
+
+Ordering guarantee: each socket direction drains its outbound queue through
+a single *pump* process, so messages on one connection can never overtake
+each other — exactly TCP's contract, and required by Netty's frame decoder.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Generator
+
+from repro.simnet.engine import SimEngine
+from repro.simnet.events import Event, SimError
+from repro.simnet.interconnect import WireModel
+from repro.simnet.resources import Store
+from repro.simnet.topology import SimCluster, SimNode
+
+
+class SocketError(SimError):
+    """Connection-level failure (refused, closed, double bind)."""
+
+
+@dataclass(frozen=True)
+class SocketAddress:
+    """(host, port) endpoint address."""
+
+    host: str
+    port: int
+
+    def __str__(self) -> str:
+        return f"{self.host}:{self.port}"
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One application message carried on the stream.
+
+    ``payload`` is the sample-scale object; ``nbytes`` is the nominal wire
+    size actually charged. ``eof`` marks an orderly close.
+    """
+
+    payload: Any
+    nbytes: int
+    eof: bool = False
+
+
+class SimSocket:
+    """One endpoint of an established connection."""
+
+    _ids = itertools.count(1)
+
+    def __init__(
+        self,
+        stack: "SocketStack",
+        node: SimNode,
+        peer_node: SimNode,
+        local: SocketAddress,
+        remote: SocketAddress,
+        model: WireModel,
+    ) -> None:
+        self.stack = stack
+        self.env = stack.env
+        self.node = node
+        self.peer_node = peer_node
+        self.local = local
+        self.remote = remote
+        self.model = model
+        self.socket_id = next(SimSocket._ids)
+        self.peer: SimSocket | None = None  # wired by the stack
+        self._outbound: Store = Store(stack.env)
+        self._inbound: Store = Store(stack.env)
+        self.closed = False
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self._pump = stack.env.process(self._pump_loop(), name=f"sock{self.socket_id}-pump")
+
+    # -- API -------------------------------------------------------------
+    def send(self, payload: Any, nbytes: int) -> Event:
+        """Queue a message on the stream. Returns the enqueue event.
+
+        Sends on a closed socket raise :class:`SocketError` — Spark treats
+        that as a fetch failure.
+        """
+        if self.closed:
+            raise SocketError(f"send on closed socket {self.local}->{self.remote}")
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        return self._outbound.put(Segment(payload, nbytes))
+
+    def recv(self) -> Event:
+        """Event yielding the next :class:`Segment` (``eof`` on close)."""
+        return self._inbound.get()
+
+    def recv_nowait(self) -> Segment | None:
+        """Non-blocking peek-and-take, used by the NIO selector loop."""
+        seg = self._inbound.peek()
+        if seg is None:
+            return None
+        # Drain via an immediate get; Store guarantees it succeeds.
+        ev = self._inbound.get()
+        assert ev.triggered
+        return ev.value
+
+    @property
+    def readable(self) -> bool:
+        return len(self._inbound) > 0
+
+    def when_readable(self):
+        """Non-consuming event: triggers when a segment is queued (NIO OP_READ)."""
+        return self._inbound.when_nonempty()
+
+    def close(self) -> None:
+        """Orderly close: flush queued segments then signal EOF to the peer."""
+        if self.closed:
+            return
+        self.closed = True
+        self._outbound.put(Segment(None, 0, eof=True))
+
+    # -- internals ---------------------------------------------------------
+    def _pump_loop(self) -> Generator[Event, Any, None]:
+        env = self.env
+        while True:
+            seg = yield self._outbound.get()
+            if seg.eof:
+                peer = self.peer
+                if peer is not None:
+                    yield from self.stack.cluster.wire_path(
+                        self.node, self.peer_node, 0, self.model
+                    )
+                    peer._inbound.put(seg)
+                return
+            # Sender-side stack cost, wire, receiver-side stack cost.
+            yield env.timeout(self.model.sender_cpu_time(seg.nbytes))
+            yield from self.stack.cluster.wire_path(
+                self.node, self.peer_node, seg.nbytes, self.model
+            )
+            yield env.timeout(self.model.receiver_cpu_time(seg.nbytes))
+            self.bytes_sent += seg.nbytes
+            peer = self.peer
+            if peer is None:
+                raise SocketError("socket pump running before peer wired")
+            peer.bytes_received += seg.nbytes
+            peer._inbound.put(seg)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SimSocket {self.local}->{self.remote}>"
+
+
+class ListeningSocket:
+    """A bound server socket; ``accept()`` yields established connections."""
+
+    def __init__(self, stack: "SocketStack", node: SimNode, addr: SocketAddress) -> None:
+        self.stack = stack
+        self.node = node
+        self.addr = addr
+        self._backlog: Store = Store(stack.env)
+        self.closed = False
+
+    def accept(self) -> Event:
+        """Event yielding the next accepted :class:`SimSocket`."""
+        if self.closed:
+            raise SocketError(f"accept on closed listener {self.addr}")
+        return self._backlog.get()
+
+    @property
+    def acceptable(self) -> bool:
+        return len(self._backlog) > 0
+
+    def when_acceptable(self) -> Event:
+        """Non-consuming event: a connection is waiting (NIO OP_ACCEPT)."""
+        return self._backlog.when_nonempty()
+
+    def close(self) -> None:
+        self.closed = True
+        self.stack._unbind(self.addr)
+
+
+class SocketStack:
+    """Cluster-wide socket registry: bind / listen / connect."""
+
+    def __init__(self, env: SimEngine, cluster: SimCluster, model: WireModel) -> None:
+        self.env = env
+        self.cluster = cluster
+        self.model = model
+        self._listeners: dict[SocketAddress, ListeningSocket] = {}
+        self._ephemeral = itertools.count(49152)
+
+    def listen(self, node: SimNode | str | int, port: int) -> ListeningSocket:
+        node = self.cluster.node(node)
+        addr = SocketAddress(node.name, port)
+        if addr in self._listeners:
+            raise SocketError(f"address already in use: {addr}")
+        listener = ListeningSocket(self, node, addr)
+        self._listeners[addr] = listener
+        return listener
+
+    def _unbind(self, addr: SocketAddress) -> None:
+        self._listeners.pop(addr, None)
+
+    def connect(
+        self, node: SimNode | str | int, remote: SocketAddress
+    ) -> Generator[Event, Any, SimSocket]:
+        """Generator establishing a connection (one SYN/SYN-ACK round trip).
+
+        Returns the client-side :class:`SimSocket`; the server side appears
+        in the listener's accept queue.
+        """
+        node = self.cluster.node(node)
+        listener = self._listeners.get(remote)
+        if listener is None or listener.closed:
+            raise SocketError(f"connection refused: {remote}")
+        server_node = listener.node
+        local = SocketAddress(node.name, next(self._ephemeral))
+
+        # SYN / SYN-ACK round trip on the wire.
+        yield from self.cluster.wire_path(node, server_node, 0, self.model)
+        yield from self.cluster.wire_path(server_node, node, 0, self.model)
+
+        client = SimSocket(self, node, server_node, local, remote, self.model)
+        server = SimSocket(self, server_node, node, remote, local, self.model)
+        client.peer = server
+        server.peer = client
+        listener._backlog.put(server)
+        return client

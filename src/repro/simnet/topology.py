@@ -1,0 +1,219 @@
+"""Cluster topology: nodes, NICs, and the timed wire path between them.
+
+The cluster is deliberately flat (single full-bisection switch) — Frontera,
+Stampede2 and the internal cluster are all fat-tree systems where the paper's
+job sizes (≤ 32 nodes) see full bisection bandwidth; node NICs, not the
+switch, are the contended resource.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator
+
+from repro.simnet.engine import SimEngine
+from repro.simnet.events import Event
+from repro.simnet.fluid import FluidNetwork
+from repro.simnet.interconnect import Fabric, WireModel, loopback
+from repro.simnet.resources import Resource
+from repro.util.stats import OnlineStats
+
+# Messages at or below this size bypass NIC-lane serialization and pay only
+# latency + their own (tiny) serialization time. Real fabrics interleave at
+# packet granularity, so a 64-byte control message (MPI RTS/CTS, ACKs) never
+# queues behind a multi-megabyte bulk transfer; our message-granularity NIC
+# model would otherwise stall rendezvous handshakes by whole bulk slots.
+CONTROL_BYPASS_BYTES = 256
+
+
+@dataclass
+class NicStats:
+    """Per-node NIC accounting (useful for incast analysis in tests)."""
+
+    tx_bytes: int = 0
+    rx_bytes: int = 0
+    tx_messages: int = 0
+    rx_messages: int = 0
+
+
+class SimNode:
+    """A compute node: CPU cores plus a full-duplex NIC.
+
+    ``nic_lanes`` models NIC parallelism: modern HCAs drive the wire from
+    several engines, but the aggregate rate is the wire rate, so the default
+    is a single serialization lane per direction.
+    """
+
+    def __init__(
+        self,
+        env: SimEngine,
+        index: int,
+        name: str,
+        cores: int,
+        nic_lanes: int = 1,
+    ) -> None:
+        self.env = env
+        self.index = index
+        self.name = name
+        self.cores = Resource(env, capacity=cores)
+        self.tx = Resource(env, capacity=nic_lanes)
+        self.rx = Resource(env, capacity=nic_lanes)
+        self.nic_stats = NicStats()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SimNode {self.name} cores={self.cores.capacity}>"
+
+
+class NetTrace:
+    """Aggregate transfer statistics, grouped by wire-model name."""
+
+    def __init__(self) -> None:
+        self.by_model: dict[str, OnlineStats] = {}
+        self.bytes_by_model: dict[str, int] = {}
+        self.hooks: list[Callable[[dict[str, Any]], None]] = []
+
+    def record(
+        self, model: WireModel, src: SimNode, dst: SimNode, nbytes: int, elapsed: float
+    ) -> None:
+        stats = self.by_model.setdefault(model.name, OnlineStats())
+        stats.add(elapsed)
+        self.bytes_by_model[model.name] = (
+            self.bytes_by_model.get(model.name, 0) + nbytes
+        )
+        for hook in self.hooks:
+            hook(
+                {
+                    "model": model.name,
+                    "src": src.name,
+                    "dst": dst.name,
+                    "nbytes": nbytes,
+                    "elapsed": elapsed,
+                }
+            )
+
+    def total_bytes(self) -> int:
+        return sum(self.bytes_by_model.values())
+
+
+class SimCluster:
+    """A set of :class:`SimNode` connected by one fabric.
+
+    The cluster provides the *timed wire path* primitive
+    (:meth:`wire_path`): it charges NIC serialization at both endpoints and
+    wire latency, and completes when the last byte lands at the receiver.
+    Endpoint CPU overheads (``o_s``/``o_r``) are charged by the protocol
+    layers (sockets / MPI), because *where* they are charged — an event-loop
+    thread vs. an application thread — is exactly what differs between the
+    paper's designs.
+    """
+
+    def __init__(
+        self,
+        env: SimEngine,
+        fabric: Fabric,
+        n_nodes: int,
+        cores_per_node: int,
+        nic_lanes: int = 1,
+    ) -> None:
+        if n_nodes < 1:
+            raise ValueError(f"need at least one node, got {n_nodes}")
+        if cores_per_node < 1:
+            raise ValueError(f"need at least one core per node, got {cores_per_node}")
+        self.env = env
+        self.fabric = fabric
+        self.nodes = [
+            SimNode(env, i, f"node{i}", cores=cores_per_node, nic_lanes=nic_lanes)
+            for i in range(n_nodes)
+        ]
+        self._by_name = {node.name: node for node in self.nodes}
+        self.trace = NetTrace()
+        self._loopback = loopback(fabric)
+        self.fluid = FluidNetwork(env)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def node(self, ref: int | str | SimNode) -> SimNode:
+        if isinstance(ref, SimNode):
+            return ref
+        if isinstance(ref, int):
+            return self.nodes[ref]
+        return self._by_name[ref]
+
+    # -- the timed wire path --------------------------------------------------
+    def wire_path(
+        self,
+        src: SimNode,
+        dst: SimNode,
+        nbytes: int,
+        model: WireModel,
+    ) -> Generator[Event, Any, float]:
+        """Generator charging the wire time for one message.
+
+        Same-node messages use the shared-memory loopback model and bypass
+        NIC resources. Cross-node messages hold the sender's TX lane and the
+        receiver's RX lane for the serialization time (this is what produces
+        incast queueing at a hot receiver), then pay the protocol latency.
+
+        Returns the elapsed simulated time.
+        """
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        env = self.env
+        start = env.now
+        if src is dst:
+            lo = self._loopback
+            yield env.timeout(lo.protocol_latency(nbytes) + lo.serialization_time(nbytes))
+            elapsed = env.now - start
+            self.trace.record(lo, src, dst, nbytes, elapsed)
+            return elapsed
+
+        if nbytes <= CONTROL_BYPASS_BYTES:
+            # Control-sized messages interleave at packet granularity and
+            # never queue behind bulk flows.
+            yield env.timeout(
+                model.serialization_time(nbytes) + model.protocol_latency(nbytes)
+            )
+        else:
+            # Bulk payloads: flow-level fair sharing of the protocol stack's
+            # effective bandwidth at both endpoints (see simnet.fluid). The
+            # per-chunk stack cost is CPU/protocol work, charged on top.
+            cap = min(model.effective_bandwidth_Bps(), model.fabric.line_rate_Bps)
+            done = self.fluid.transfer(
+                [
+                    ((src.index, "tx", model.name), cap),
+                    ((dst.index, "rx", model.name), cap),
+                ],
+                nbytes,
+            )
+            yield done
+            yield env.timeout(
+                model.protocol_latency(nbytes)
+                + model.n_chunks(nbytes) * model.per_chunk_s
+            )
+
+        src.nic_stats.tx_bytes += nbytes
+        src.nic_stats.tx_messages += 1
+        dst.nic_stats.rx_bytes += nbytes
+        dst.nic_stats.rx_messages += 1
+        elapsed = env.now - start
+        self.trace.record(model, src, dst, nbytes, elapsed)
+        return elapsed
+
+    def transfer_async(
+        self,
+        src: SimNode,
+        dst: SimNode,
+        nbytes: int,
+        model: WireModel,
+        on_delivered: Callable[[], None] | None = None,
+    ):
+        """Fire-and-forget wire transfer; returns the delivery Process event."""
+
+        def _run() -> Generator[Event, Any, float]:
+            elapsed = yield from self.wire_path(src, dst, nbytes, model)
+            if on_delivered is not None:
+                on_delivered()
+            return elapsed
+
+        return self.env.process(_run(), name=f"xfer:{src.name}->{dst.name}")

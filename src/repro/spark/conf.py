@@ -1,0 +1,49 @@
+"""SparkConf: Spark-flavoured configuration with the paper's defaults."""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.util.config import Config
+
+# Defaults mirror the paper's evaluation setup (Sec. VII-C) where relevant.
+_DEFAULTS: dict[str, Any] = {
+    "spark.app.name": "repro-app",
+    "spark.master": "local[1]",
+    "spark.default.parallelism": "8",
+    # Shuffle data plane (values from vanilla Spark's defaults)
+    "spark.reducer.maxSizeInFlight": "48m",
+    "spark.reducer.maxReqsInFlight": "5",
+    "spark.shuffle.compress": "true",
+    # Transport selection: nio (vanilla) | rdma | mpi-basic | mpi-opt
+    "spark.repro.transport": "nio",
+    # Paper Sec. VII-C memory settings
+    "spark.worker.memory": "120g",
+    "spark.daemon.memory": "6g",
+    "spark.executor.memory": "120g",
+    "spark.driver.memory": "6g",
+}
+
+
+class SparkConf(Config):
+    """Configuration for a :class:`~repro.spark.context.SparkContext`."""
+
+    def __init__(self, values: Mapping[str, Any] | None = None) -> None:
+        merged = dict(_DEFAULTS)
+        if values:
+            merged.update(values)
+        super().__init__(merged)
+
+    def set_app_name(self, name: str) -> "SparkConf":
+        return self.set("spark.app.name", name)  # type: ignore[return-value]
+
+    def set_master(self, master: str) -> "SparkConf":
+        return self.set("spark.master", master)  # type: ignore[return-value]
+
+    @property
+    def app_name(self) -> str:
+        return str(self.get("spark.app.name"))
+
+    @property
+    def default_parallelism(self) -> int:
+        return self.get_int("spark.default.parallelism")

@@ -1,0 +1,457 @@
+"""Simulated Spark cluster: master/driver/workers/executors on simnet.
+
+This module deploys a Spark-shaped cluster onto the discrete-event
+simulator and executes :class:`~repro.harness.profile.WorkloadProfile`
+stages on it. The **shuffle data plane is fully real**: reduce tasks open
+block streams with RPCs and fetch chunks through Netty channels (with the
+transport under test — NIO, RDMA, MPI-Basic, MPI-Optimized), with Spark's
+``maxBytesInFlight`` windowing. Control-plane chatter (task launch RPCs)
+is modeled as a fixed per-task dispatch delay — it is the same across all
+transports and negligible against the paper's stage times.
+
+For the MPI transports, the cluster comes up through the paper's Fig-3
+flow: wrapper ranks are "mpiexec"-launched (workers + master + driver in
+``MPI_COMM_WORLD``), executor launch specs are allgathered across the
+world, and executors are spawned with ``MPI_Comm_spawn_multiple`` so that
+executor↔executor channels bind to ``DPM_COMM`` and parent↔executor
+channels to the intercommunicator.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Generator
+
+import numpy as np
+
+from repro.core.endpoint import MpiEndpoint
+from repro.harness.profile import (
+    RAMDISK_READ_BPS,
+    RAMDISK_WRITE_BPS,
+    TASK_SCHED_DELAY_S,
+    ComputeStage,
+    ShuffleReadStage,
+    ShuffleWriteStage,
+    WorkloadProfile,
+)
+from repro.harness.systems import SystemConfig
+from repro.mpi.dpm import SpawnSpec
+from repro.mpi.runtime import RankSpec
+from repro.netty.eventloop import EventLoopGroup
+from repro.simnet.engine import SimEngine
+from repro.simnet.resources import Resource
+from repro.simnet.sockets import SocketAddress
+from repro.simnet.topology import SimCluster
+from repro.spark.network import (
+    OneForOneStreamManager,
+    RpcHandler,
+    TransportClientFactory,
+    TransportContext,
+)
+from repro.transports import make_transport
+from repro.util.units import MiB, US
+
+SHUFFLE_PORT_BASE = 7400
+
+# One OpenBlocks RPC creates fetch requests of at most this size
+# (Spark: maxSizeInFlight / 5 = 48 MiB / 5).
+TARGET_REQUEST_BYTES = int(48 * MiB / 5)
+MAX_BYTES_IN_FLIGHT = 48 * MiB
+
+# Residual per-block client-side bookkeeping not covered by the wire model
+# (block manager lookups, iterator advancement).
+PER_BLOCK_CLIENT_S = 0.8 * US
+# Extra header bytes per additional block aggregated into one chunk.
+PER_BLOCK_WIRE_BYTES = 48
+
+
+class ShuffleOpenBlocksHandler(RpcHandler):
+    """Server side of OneForOneBlockFetcher's OpenBlocks RPC.
+
+    Request: ``("open_blocks", nbytes, n_blocks)``. Registers a stream
+    whose chunks split the requested bytes into ≤ TARGET_REQUEST_BYTES
+    pieces; replies ``(stream_id, [chunk sizes], [chunk block counts])``.
+    """
+
+    def __init__(self, streams: OneForOneStreamManager) -> None:
+        self.streams = streams
+        self.opens_served = 0
+
+    def receive(self, client_channel, payload, reply):
+        kind, nbytes, n_blocks = payload
+        if kind != "open_blocks":
+            raise ValueError(f"unexpected rpc {kind!r}")
+        self.opens_served += 1
+        sizes: list[int] = []
+        remaining = int(nbytes)
+        while remaining > 0:
+            take = min(remaining, TARGET_REQUEST_BYTES)
+            sizes.append(take)
+            remaining -= take
+        if not sizes:
+            sizes = [0]
+        blocks = _split_blocks(int(n_blocks), len(sizes))
+        wire_sizes = [
+            s + max(b - 1, 0) * PER_BLOCK_WIRE_BYTES for s, b in zip(sizes, blocks)
+        ]
+
+        def provider(chunk_index: int, num_blocks: int) -> tuple[Any, int]:
+            return None, wire_sizes[chunk_index]
+
+        stream_id = self.streams.register_stream(provider)
+        reply((stream_id, wire_sizes, blocks), 64)
+
+
+def _split_blocks(n_blocks: int, n_chunks: int) -> list[int]:
+    base = n_blocks // n_chunks
+    rem = n_blocks % n_chunks
+    return [base + (1 if i < rem else 0) for i in range(n_chunks)]
+
+
+class SimExecutor:
+    """One executor JVM: event loop, shuffle server, pooled clients."""
+
+    def __init__(
+        self,
+        sim: "SparkSimCluster",
+        exec_id: int,
+        node_index: int,
+        endpoint: MpiEndpoint | None,
+    ) -> None:
+        self.sim = sim
+        self.exec_id = exec_id
+        self.node = sim.cluster.node(node_index)
+        self.endpoint = endpoint
+        self.cores = sim.cores_per_executor
+        transport = sim.transport
+        # Spark's transport pools run several IO threads; channels spread
+        # over them so one blocked handler (the Optimized design's MPI_Recv)
+        # does not stall every connection.
+        n_io = min(sim.io_threads, max(1, self.cores // 2))
+        self.loops = EventLoopGroup(
+            [transport.make_loop(f"exec{exec_id}-io{i}", endpoint) for i in range(n_io)]
+        )
+        self.loop = self.loops.loops[0]  # acceptor / boss loop
+        self.streams = OneForOneStreamManager()
+        self.rpc_handler = ShuffleOpenBlocksHandler(self.streams)
+        self.context = TransportContext(
+            transport.data_stack,
+            rpc_handler=self.rpc_handler,
+            stream_manager=self.streams,
+            pipeline_hook=transport.pipeline_hook,
+        )
+        self.client_factory = TransportClientFactory(self.context, self.loops, self.node)
+        self.server = None
+        # Task slots: polling transports burn whole cores with spinning
+        # selector threads (polling_tax_cores = total per executor).
+        tax = min(transport.polling_tax_cores, n_io)
+        effective = max(1, self.cores - tax)
+        self.slots = Resource(sim.env, capacity=effective)
+        self.bytes_fetched_remote = 0
+        self.bytes_read_local = 0
+
+    @property
+    def address(self) -> SocketAddress:
+        return SocketAddress(self.node.name, SHUFFLE_PORT_BASE + self.exec_id)
+
+    def start(self) -> None:
+        self.loops.start()
+        self.server = self.context.create_server(
+            self.loop, self.node, SHUFFLE_PORT_BASE + self.exec_id, child_group=self.loops
+        )
+
+    def stop(self) -> None:
+        self.loops.stop()
+
+    # -- the shuffle read client path ---------------------------------------
+    def _get_client(self, remote: "SimExecutor") -> Generator:
+        client = yield from self.client_factory.get_client(remote.address)
+        if self.sim.transport.uses_mpi and "mpi_binding" not in client.channel.attributes:
+            yield from self.sim.transport.establish(client.channel, self.endpoint)
+        return client
+
+    def fetch_shuffle(
+        self, sources: list[tuple["SimExecutor", int, int]]
+    ) -> Generator:
+        """Fetch ``(src, nbytes, n_blocks)`` from each source, windowed.
+
+        Implements ShuffleBlockFetcherIterator's in-flight byte window:
+        chunk requests are issued while the outstanding total stays under
+        ``MAX_BYTES_IN_FLIGHT``; completions release window space.
+        """
+        env = self.sim.env
+        # Open streams (one RPC per source executor).
+        per_source: list[list[tuple[Any, int, int, int, int]]] = []
+        for src, nbytes, n_blocks in sources:
+            if nbytes <= 0:
+                continue
+            client = yield from self._get_client(src)
+            reply = yield client.send_rpc(("open_blocks", nbytes, n_blocks), 64)
+            stream_id, sizes, blocks = reply
+            per_source.append(
+                [
+                    (client, stream_id, idx, size, blk)
+                    for idx, (size, blk) in enumerate(zip(sizes, blocks))
+                ]
+            )
+        # Interleave requests across sources, rotated per call — Spark
+        # randomizes fetch-request order (ShuffleBlockFetcherIterator) so
+        # synchronized reducers don't all hammer the same server at once.
+        self._fetch_seq = getattr(self, "_fetch_seq", 0) + 1
+        rot = self._fetch_seq + self.exec_id
+        per_source = per_source[rot % len(per_source):] + per_source[: rot % len(per_source)] if per_source else []
+        plan = [
+            chunk
+            for layer in itertools.zip_longest(*per_source)
+            for chunk in layer
+            if chunk is not None
+        ]
+
+        pending: dict[Any, tuple[int, int]] = {}  # future -> (size, blocks)
+        in_flight = 0
+        next_req = 0
+        while next_req < len(plan) or pending:
+            while next_req < len(plan) and (
+                not pending or in_flight + plan[next_req][3] <= MAX_BYTES_IN_FLIGHT
+            ):
+                client, stream_id, idx, size, blk = plan[next_req]
+                future = client.fetch_chunk(stream_id, idx, num_blocks=blk)
+                pending[future] = (size, blk)
+                in_flight += size
+                next_req += 1
+            if not pending:
+                break
+            yield env.any_of(list(pending))
+            for future in [f for f in pending if f.triggered]:
+                size, blk = pending.pop(future)
+                in_flight -= size
+                self.bytes_fetched_remote += size
+                if blk > 1:
+                    yield env.timeout((blk - 1) * PER_BLOCK_CLIENT_S)
+
+    # -- task runners -------------------------------------------------------------
+    def run_compute_task(self, seconds: float) -> Generator:
+        req = self.slots.request()
+        yield req
+        try:
+            yield self.sim.env.timeout(
+                TASK_SCHED_DELAY_S + seconds * self.sim.transport.compute_inflation
+            )
+        finally:
+            self.slots.release(req)
+
+    def run_write_task(self, seconds: float, write_bytes: float) -> Generator:
+        req = self.slots.request()
+        yield req
+        try:
+            yield self.sim.env.timeout(
+                TASK_SCHED_DELAY_S
+                + seconds * self.sim.transport.compute_inflation
+                + write_bytes / RAMDISK_WRITE_BPS
+            )
+        finally:
+            self.slots.release(req)
+
+    def run_read_task(
+        self,
+        fetch_bytes: np.ndarray,
+        blocks: np.ndarray,
+        combine_seconds: float,
+    ) -> Generator:
+        req = self.slots.request()
+        yield req
+        try:
+            yield self.sim.env.timeout(TASK_SCHED_DELAY_S)
+            # Local blocks: straight off the RAM disk.
+            local = float(fetch_bytes[self.exec_id])
+            if local > 0:
+                self.bytes_read_local += int(local)
+                yield self.sim.env.timeout(local / RAMDISK_READ_BPS)
+            # Remote blocks: through the transport under test.
+            sources = [
+                (src, int(fetch_bytes[src.exec_id]), int(blocks[src.exec_id]))
+                for src in self.sim.executors
+                if src.exec_id != self.exec_id and fetch_bytes[src.exec_id] > 0
+            ]
+            yield from self.fetch_shuffle(sources)
+            yield self.sim.env.timeout(
+                combine_seconds * self.sim.transport.compute_inflation
+            )
+        finally:
+            self.slots.release(req)
+
+
+@dataclass
+class RunResult:
+    """Timing breakdown of one profile execution."""
+
+    workload: str
+    transport: str
+    system: str
+    n_workers: int
+    total_cores: int
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+    launch_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.stage_seconds.values())
+
+    def shuffle_read_seconds(self) -> float:
+        """Time of the shuffle-read stage (the paper's last Job*-ResultStage)."""
+        reads = [
+            secs
+            for label, secs in self.stage_seconds.items()
+            if "ResultStage" in label or label.endswith("read")
+        ]
+        return reads[-1] if reads else 0.0
+
+
+class SparkSimCluster:
+    """A deployed (simulated) Spark cluster bound to one transport."""
+
+    def __init__(
+        self,
+        system: SystemConfig,
+        n_workers: int,
+        transport_name: str,
+        cores_per_executor: int | None = None,
+        io_threads: int = 8,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError("need at least one worker")
+        self.system = system
+        self.n_workers = n_workers
+        self.io_threads = io_threads
+        self.env = SimEngine()
+        # workers on nodes [0, W); master on node W; driver on node W+1.
+        self.cluster = SimCluster(
+            self.env,
+            system.fabric,
+            n_nodes=n_workers + 2,
+            cores_per_node=system.cores_per_node,
+        )
+        self.transport = make_transport(
+            transport_name, self.env, self.cluster, loaded=True
+        )
+        self.cores_per_executor = cores_per_executor or system.threads_per_node
+        self.executors: list[SimExecutor] = []
+        self.launch_seconds = 0.0
+        self._launched = False
+
+    # -- cluster bring-up ---------------------------------------------------------
+    def launch(self) -> None:
+        """Bring the cluster up (Fig-3 flow for the MPI transports)."""
+        if self._launched:
+            raise RuntimeError("cluster already launched")
+        t0 = self.env.now
+        if self.transport.uses_mpi:
+            self._launch_with_mpi()
+        else:
+            for i in range(self.n_workers):
+                self.executors.append(SimExecutor(self, i, i, None))
+        for ex in self.executors:
+            ex.start()
+        self.env.run(until=self.env.now + 0.5)  # let servers/loops settle
+        self.launch_seconds = self.env.now - t0
+        self._launched = True
+
+    def _launch_with_mpi(self) -> None:
+        """Paper Sec. V: wrapper ranks, allgather of specs, DPM spawn."""
+        world = self.transport.mpi_world
+        assert world is not None
+        W = self.n_workers
+        executor_procs: dict[int, Any] = {}
+        done = self.env.event()
+        parents_ready = {"count": 0}
+
+        def executor_main(proc):
+            # Executors idle as MPI ranks; their matching engines serve the
+            # Netty MPI transport.
+            executor_procs[len(executor_procs)] = proc
+            yield proc.env.timeout(0)
+
+        def wrapper_main(proc):
+            comm = proc.comm_world
+            rank = comm.rank
+            if rank < W:
+                my_spec = SpawnSpec(main=executor_main, node=rank, count=1, name="executor")
+            else:
+                my_spec = None  # master (rank W) and driver (rank W+1)
+            # "an MPI_allgather was used across the workers to gather all
+            # the different arguments used for launching the executors"
+            all_specs = yield from comm.allgather(my_spec)
+            specs = [s for s in all_specs if s is not None]
+            intercomm = yield from comm.spawn_multiple(
+                specs if rank == 0 else None, root=0
+            )
+            proc.spawn_intercomm = intercomm
+            parents_ready["count"] += 1
+            if parents_ready["count"] == W + 2 and not done.triggered:
+                done.succeed()
+
+        specs = [RankSpec(main=wrapper_main, node=i, name="worker") for i in range(W)]
+        specs.append(RankSpec(main=wrapper_main, node=W, name="master"))
+        specs.append(RankSpec(main=wrapper_main, node=W + 1, name="driver"))
+        world.launch(specs, comm_name="MPI_COMM_WORLD")
+        self.env.run(until=done)
+
+        # Executor gid order == spawn order == worker rank order.
+        procs = sorted(executor_procs.values(), key=lambda p: p.gid)
+        if len(procs) != W:
+            raise RuntimeError(f"expected {W} executors, got {len(procs)}")
+        for i, proc in enumerate(procs):
+            self.executors.append(SimExecutor(self, i, i, MpiEndpoint(proc)))
+
+    # -- profile execution -------------------------------------------------------
+    def run_profile(self, profile: WorkloadProfile) -> RunResult:
+        if not self._launched:
+            self.launch()
+        if profile.n_executors != self.n_workers:
+            raise ValueError(
+                f"profile built for {profile.n_executors} executors, "
+                f"cluster has {self.n_workers}"
+            )
+        result = RunResult(
+            workload=profile.name,
+            transport=self.transport.name,
+            system=self.system.name,
+            n_workers=self.n_workers,
+            total_cores=self.n_workers * self.cores_per_executor,
+            launch_seconds=self.launch_seconds,
+        )
+        for stage in profile.stages:
+            t0 = self.env.now
+            tasks = self._spawn_stage_tasks(stage)
+            finished = self.env.all_of(tasks)
+            self.env.run(until=finished)
+            result.stage_seconds[stage.label] = self.env.now - t0
+        return result
+
+    def _spawn_stage_tasks(self, stage) -> list:
+        procs = []
+        n_exec = len(self.executors)
+        for t in range(stage.n_tasks):
+            ex = self.executors[t % n_exec]
+            if isinstance(stage, ComputeStage):
+                gen = ex.run_compute_task(float(stage.seconds_per_task[t]))
+            elif isinstance(stage, ShuffleWriteStage):
+                gen = ex.run_write_task(
+                    float(stage.seconds_per_task[t]),
+                    float(stage.write_bytes_per_task[t]),
+                )
+            elif isinstance(stage, ShuffleReadStage):
+                gen = ex.run_read_task(
+                    stage.fetch_bytes[t],
+                    stage.blocks[t],
+                    float(stage.combine_seconds_per_task[t]),
+                )
+            else:
+                raise TypeError(f"unknown stage type {type(stage)}")
+            procs.append(self.env.process(gen, name=f"{stage.label}-task{t}"))
+        return procs
+
+    def shutdown(self) -> None:
+        for ex in self.executors:
+            ex.stop()

@@ -1,0 +1,346 @@
+"""Spark network message types (paper Table II) and their wire codec.
+
+Encodings mirror Spark's ``network-common`` module: every message is a
+frame of ``[8B frame length][1B type tag][header fields][body]``; bulk
+bodies (shuffle chunks, stream data) are *not* materialized into header
+bytes — they ride as payload references with explicit sizes, like Netty
+FileRegions (see :class:`repro.netty.frame.WireFrame`).
+
+``MessageWithHeader`` (paper Fig. 6) is exactly this header/body split —
+the Optimized design sends the header over the Java socket and the body
+over MPI, so the codec here must keep them separable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, ClassVar
+
+from repro.netty.bytebuf import ByteBuf
+from repro.netty.frame import WireFrame, decode_frame_header, encode_frame_header
+
+
+@dataclass(frozen=True)
+class StreamChunkId:
+    """Identifies one chunk of one stream (Spark's StreamChunkId)."""
+
+    stream_id: int
+    chunk_index: int
+
+    def encode(self, buf: ByteBuf) -> None:
+        buf.write_long(self.stream_id)
+        buf.write_int(self.chunk_index)
+
+    @staticmethod
+    def decode(buf: ByteBuf) -> "StreamChunkId":
+        return StreamChunkId(buf.read_long(), buf.read_int())
+
+
+class Message:
+    """Base wire message. Subclasses define tag + header/body behaviour."""
+
+    type_tag: ClassVar[int] = -1
+    is_request: ClassVar[bool] = True
+
+    # -- codec interface -----------------------------------------------------
+    def encode_fields(self, buf: ByteBuf) -> None:
+        raise NotImplementedError
+
+    @classmethod
+    def decode_fields(cls, buf: ByteBuf, body: Any, body_nbytes: int) -> "Message":
+        raise NotImplementedError
+
+    @property
+    def body(self) -> Any:
+        return None
+
+    @property
+    def body_nbytes(self) -> int:
+        return 0
+
+
+@dataclass
+class ChunkFetchRequest(Message):
+    """A request to fetch a single chunk of a stream (Table II).
+
+    ``num_blocks`` is the reproduction's aggregation knob: one simulated
+    chunk may stand for a group of same-destination shuffle blocks, and
+    per-block overheads are charged ``num_blocks`` times.
+    """
+
+    stream_chunk_id: StreamChunkId
+    num_blocks: int = 1
+
+    type_tag: ClassVar[int] = 0
+    is_request: ClassVar[bool] = True
+
+    def encode_fields(self, buf: ByteBuf) -> None:
+        self.stream_chunk_id.encode(buf)
+        buf.write_int(self.num_blocks)
+
+    @classmethod
+    def decode_fields(cls, buf, body, body_nbytes):
+        return cls(StreamChunkId.decode(buf), buf.read_int())
+
+
+@dataclass
+class ChunkFetchSuccess(Message):
+    """Response carrying a fetched chunk (the bulk shuffle message)."""
+
+    stream_chunk_id: StreamChunkId
+    chunk: Any = None
+    chunk_nbytes: int = 0
+    num_blocks: int = 1
+
+    type_tag: ClassVar[int] = 1
+    is_request: ClassVar[bool] = False
+
+    def encode_fields(self, buf: ByteBuf) -> None:
+        self.stream_chunk_id.encode(buf)
+        buf.write_int(self.num_blocks)
+
+    @classmethod
+    def decode_fields(cls, buf, body, body_nbytes):
+        chunk_id = StreamChunkId.decode(buf)
+        return cls(chunk_id, body, body_nbytes, buf.read_int())
+
+    @property
+    def body(self) -> Any:
+        return self.chunk
+
+    @property
+    def body_nbytes(self) -> int:
+        return self.chunk_nbytes
+
+
+@dataclass
+class ChunkFetchFailure(Message):
+    """Fetch failed (block missing / executor lost)."""
+
+    stream_chunk_id: StreamChunkId
+    error: str = ""
+
+    type_tag: ClassVar[int] = 2
+    is_request: ClassVar[bool] = False
+
+    def encode_fields(self, buf: ByteBuf) -> None:
+        self.stream_chunk_id.encode(buf)
+        buf.write_string(self.error)
+
+    @classmethod
+    def decode_fields(cls, buf, body, body_nbytes):
+        return cls(StreamChunkId.decode(buf), buf.read_string())
+
+
+@dataclass
+class RpcRequest(Message):
+    """A generic RPC (Table II). Body is the serialized RPC payload."""
+
+    request_id: int
+    payload: Any = None
+    payload_nbytes: int = 0
+
+    type_tag: ClassVar[int] = 3
+    is_request: ClassVar[bool] = True
+
+    def encode_fields(self, buf: ByteBuf) -> None:
+        buf.write_long(self.request_id)
+
+    @classmethod
+    def decode_fields(cls, buf, body, body_nbytes):
+        return cls(buf.read_long(), body, body_nbytes)
+
+    @property
+    def body(self) -> Any:
+        return self.payload
+
+    @property
+    def body_nbytes(self) -> int:
+        return self.payload_nbytes
+
+
+@dataclass
+class RpcResponse(Message):
+    """Reply to a successful RPC."""
+
+    request_id: int
+    payload: Any = None
+    payload_nbytes: int = 0
+
+    type_tag: ClassVar[int] = 4
+    is_request: ClassVar[bool] = False
+
+    def encode_fields(self, buf: ByteBuf) -> None:
+        buf.write_long(self.request_id)
+
+    @classmethod
+    def decode_fields(cls, buf, body, body_nbytes):
+        return cls(buf.read_long(), body, body_nbytes)
+
+    @property
+    def body(self) -> Any:
+        return self.payload
+
+    @property
+    def body_nbytes(self) -> int:
+        return self.payload_nbytes
+
+
+@dataclass
+class RpcFailure(Message):
+    """Reply to a failed RPC."""
+
+    request_id: int
+    error: str = ""
+
+    type_tag: ClassVar[int] = 5
+    is_request: ClassVar[bool] = False
+
+    def encode_fields(self, buf: ByteBuf) -> None:
+        buf.write_long(self.request_id)
+        buf.write_string(self.error)
+
+    @classmethod
+    def decode_fields(cls, buf, body, body_nbytes):
+        return cls(buf.read_long(), buf.read_string())
+
+
+@dataclass
+class StreamRequest(Message):
+    """Request to open a stream (jar/file distribution, Table II)."""
+
+    stream_id: str
+
+    type_tag: ClassVar[int] = 6
+    is_request: ClassVar[bool] = True
+
+    def encode_fields(self, buf: ByteBuf) -> None:
+        buf.write_string(self.stream_id)
+
+    @classmethod
+    def decode_fields(cls, buf, body, body_nbytes):
+        return cls(buf.read_string())
+
+
+@dataclass
+class StreamResponse(Message):
+    """Stream opened successfully; body carries the stream data."""
+
+    stream_id: str
+    byte_count: int = 0
+    data: Any = None
+
+    type_tag: ClassVar[int] = 7
+    is_request: ClassVar[bool] = False
+
+    def encode_fields(self, buf: ByteBuf) -> None:
+        buf.write_string(self.stream_id)
+        buf.write_long(self.byte_count)
+
+    @classmethod
+    def decode_fields(cls, buf, body, body_nbytes):
+        stream_id = buf.read_string()
+        byte_count = buf.read_long()
+        return cls(stream_id, byte_count, body)
+
+    @property
+    def body(self) -> Any:
+        return self.data
+
+    @property
+    def body_nbytes(self) -> int:
+        return self.byte_count
+
+
+@dataclass
+class StreamFailure(Message):
+    """Stream could not be opened."""
+
+    stream_id: str
+    error: str = ""
+
+    type_tag: ClassVar[int] = 8
+    is_request: ClassVar[bool] = False
+
+    def encode_fields(self, buf: ByteBuf) -> None:
+        buf.write_string(self.stream_id)
+        buf.write_string(self.error)
+
+    @classmethod
+    def decode_fields(cls, buf, body, body_nbytes):
+        return cls(buf.read_string(), buf.read_string())
+
+
+@dataclass
+class OneWayMessage(Message):
+    """An RPC that expects no reply (Table II)."""
+
+    payload: Any = None
+    payload_nbytes: int = 0
+
+    type_tag: ClassVar[int] = 9
+    is_request: ClassVar[bool] = True
+
+    def encode_fields(self, buf: ByteBuf) -> None:
+        pass
+
+    @classmethod
+    def decode_fields(cls, buf, body, body_nbytes):
+        return cls(body, body_nbytes)
+
+    @property
+    def body(self) -> Any:
+        return self.payload
+
+    @property
+    def body_nbytes(self) -> int:
+        return self.payload_nbytes
+
+
+MESSAGE_TYPES: dict[int, type[Message]] = {
+    cls.type_tag: cls
+    for cls in (
+        ChunkFetchRequest,
+        ChunkFetchSuccess,
+        ChunkFetchFailure,
+        RpcRequest,
+        RpcResponse,
+        RpcFailure,
+        StreamRequest,
+        StreamResponse,
+        StreamFailure,
+        OneWayMessage,
+    )
+}
+
+# The two bulk message types the Optimized design routes over MPI
+# (paper Sec. VI-E).
+MPI_OPTIMIZED_BODY_TYPES = (ChunkFetchSuccess.type_tag, StreamResponse.type_tag)
+
+
+def encode_message(msg: Message) -> WireFrame:
+    """Message → WireFrame (header bytes + body reference)."""
+    fields = ByteBuf()
+    msg.encode_fields(fields)
+    header = encode_frame_header(msg.type_tag, fields.to_bytes(), msg.body_nbytes)
+    return WireFrame(header=header, body=msg.body, body_nbytes=msg.body_nbytes)
+
+
+def decode_message(frame: WireFrame) -> Message:
+    """WireFrame → Message (inverse of :func:`encode_message`)."""
+    tag, body_nbytes, fields = decode_frame_header(frame.header)
+    cls = MESSAGE_TYPES.get(tag)
+    if cls is None:
+        raise ValueError(f"unknown message type tag {tag}")
+    return cls.decode_fields(fields, frame.body, frame.body_nbytes)
+
+
+def peek_message_type(frame: WireFrame) -> tuple[int, int]:
+    """Parse only (type_tag, body_nbytes) from a frame header.
+
+    This is what the Optimized design's ChannelHandlers do: inspect the
+    header to decide whether an ``MPI_Recv`` must be triggered for the body
+    (paper Sec. VI-E / Fig. 7).
+    """
+    tag, body_nbytes, _fields = decode_frame_header(frame.header)
+    return tag, body_nbytes

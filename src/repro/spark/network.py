@@ -1,0 +1,373 @@
+"""Spark's network-common layer: transport clients/servers over Netty.
+
+Reproduces the classes the paper names in its Fig-4 flow:
+
+* :class:`TransportContext` — creates Netty clients and servers ("each
+  component in the Spark cluster [has] its own set of Netty servers and
+  clients", paper Sec. II-C),
+* :class:`TransportClient` / the response handler — outstanding fetch/RPC
+  futures matched by id,
+* :class:`TransportRequestHandler` — server-side dispatch to the
+  :class:`RpcHandler` and :class:`OneForOneStreamManager`,
+* :class:`MessageEncoder` / :class:`MessageDecoder` — the codec pair in
+  every channel pipeline (the Optimized design inserts its MPI handlers
+  around exactly these).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Any, Callable, Generator
+
+from repro.netty import (
+    Bootstrap,
+    Channel,
+    ChannelHandler,
+    EventLoop,
+    ServerBootstrap,
+    WireFrame,
+)
+from repro.spark.messages import (
+    ChunkFetchFailure,
+    ChunkFetchRequest,
+    ChunkFetchSuccess,
+    Message,
+    OneWayMessage,
+    RpcFailure,
+    RpcRequest,
+    RpcResponse,
+    StreamChunkId,
+    StreamFailure,
+    StreamRequest,
+    StreamResponse,
+    decode_message,
+    encode_message,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simnet.engine import SimEngine
+    from repro.simnet.events import Event
+    from repro.simnet.sockets import SocketAddress, SocketStack
+
+
+class TransportError(RuntimeError):
+    """Fetch or RPC failure surfaced to the caller."""
+
+
+# ---------------------------------------------------------------------------
+# codec handlers
+# ---------------------------------------------------------------------------
+
+class MessageEncoder(ChannelHandler):
+    """Outbound: Message → WireFrame."""
+
+    def write(self, ctx, msg, promise):
+        if isinstance(msg, Message):
+            msg = encode_message(msg)
+        ctx.write(msg, promise)
+
+
+class MessageDecoder(ChannelHandler):
+    """Inbound: WireFrame → Message."""
+
+    def channel_read(self, ctx, msg):
+        if isinstance(msg, WireFrame):
+            msg = decode_message(msg)
+        ctx.fire_channel_read(msg)
+
+
+# ---------------------------------------------------------------------------
+# server side
+# ---------------------------------------------------------------------------
+
+class RpcHandler:
+    """Application hook for RPCs (subclassed by the shuffle service)."""
+
+    def receive(
+        self,
+        client_channel: Channel,
+        payload: Any,
+        reply: Callable[[Any, int], None],
+    ) -> None:
+        """Handle an RpcRequest; call ``reply(payload, nbytes)`` exactly once."""
+        raise NotImplementedError
+
+    def receive_one_way(self, client_channel: Channel, payload: Any) -> None:
+        """Handle a OneWayMessage (no reply)."""
+
+
+class OneForOneStreamManager:
+    """Registers streams of chunks for fetching (Spark's stream manager)."""
+
+    def __init__(self) -> None:
+        self._streams: dict[int, Callable[[int, int], tuple[Any, int]]] = {}
+        self._ids = itertools.count(1000)
+        self.chunks_served = 0
+
+    def register_stream(
+        self, chunk_provider: Callable[[int, int], tuple[Any, int]]
+    ) -> int:
+        """``chunk_provider(chunk_index, num_blocks) -> (payload, nbytes)``."""
+        stream_id = next(self._ids)
+        self._streams[stream_id] = chunk_provider
+        return stream_id
+
+    def get_chunk(self, stream_id: int, chunk_index: int, num_blocks: int) -> tuple[Any, int]:
+        provider = self._streams.get(stream_id)
+        if provider is None:
+            raise TransportError(f"unknown stream {stream_id}")
+        self.chunks_served += 1
+        return provider(chunk_index, num_blocks)
+
+    def release(self, stream_id: int) -> None:
+        self._streams.pop(stream_id, None)
+
+
+class TransportRequestHandler(ChannelHandler):
+    """Server-side dispatch of request messages."""
+
+    def __init__(self, rpc_handler: RpcHandler, stream_manager: OneForOneStreamManager) -> None:
+        self.rpc_handler = rpc_handler
+        self.stream_manager = stream_manager
+
+    def channel_read(self, ctx, msg):
+        channel = ctx.channel
+        if isinstance(msg, ChunkFetchRequest):
+            self._handle_chunk_fetch(channel, msg)
+        elif isinstance(msg, RpcRequest):
+            self._handle_rpc(channel, msg)
+        elif isinstance(msg, OneWayMessage):
+            self.rpc_handler.receive_one_way(channel, msg.payload)
+        elif isinstance(msg, StreamRequest):
+            self._handle_stream(channel, msg)
+        else:
+            ctx.fire_channel_read(msg)
+
+    def _handle_chunk_fetch(self, channel: Channel, msg: ChunkFetchRequest) -> None:
+        sid = msg.stream_chunk_id
+        try:
+            payload, nbytes = self.stream_manager.get_chunk(
+                sid.stream_id, sid.chunk_index, msg.num_blocks
+            )
+        except Exception as exc:
+            channel.write_and_flush(ChunkFetchFailure(sid, str(exc)))
+            return
+        channel.write_and_flush(
+            ChunkFetchSuccess(sid, payload, nbytes, msg.num_blocks)
+        )
+
+    def _handle_rpc(self, channel: Channel, msg: RpcRequest) -> None:
+        def reply(payload: Any, nbytes: int = 0) -> None:
+            channel.write_and_flush(RpcResponse(msg.request_id, payload, nbytes))
+
+        try:
+            self.rpc_handler.receive(channel, msg.payload, reply)
+        except Exception as exc:
+            channel.write_and_flush(RpcFailure(msg.request_id, str(exc)))
+
+    def _handle_stream(self, channel: Channel, msg: StreamRequest) -> None:
+        try:
+            payload, nbytes = self.stream_manager.get_chunk(int(msg.stream_id), 0, 1)
+        except Exception as exc:
+            channel.write_and_flush(StreamFailure(msg.stream_id, str(exc)))
+            return
+        channel.write_and_flush(StreamResponse(msg.stream_id, nbytes, payload))
+
+
+# ---------------------------------------------------------------------------
+# client side
+# ---------------------------------------------------------------------------
+
+class TransportResponseHandler(ChannelHandler):
+    """Matches response messages to the futures awaiting them."""
+
+    def __init__(self, env: "SimEngine") -> None:
+        self.env = env
+        self.outstanding_fetches: dict[StreamChunkId, "Event"] = {}
+        self.outstanding_rpcs: dict[int, "Event"] = {}
+        self.outstanding_streams: dict[str, "Event"] = {}
+
+    def channel_read(self, ctx, msg):
+        if isinstance(msg, ChunkFetchSuccess):
+            future = self.outstanding_fetches.pop(msg.stream_chunk_id, None)
+            if future is not None:
+                future.succeed(msg)
+        elif isinstance(msg, ChunkFetchFailure):
+            future = self.outstanding_fetches.pop(msg.stream_chunk_id, None)
+            if future is not None:
+                future.fail(TransportError(msg.error))
+        elif isinstance(msg, RpcResponse):
+            future = self.outstanding_rpcs.pop(msg.request_id, None)
+            if future is not None:
+                future.succeed(msg.payload)
+        elif isinstance(msg, RpcFailure):
+            future = self.outstanding_rpcs.pop(msg.request_id, None)
+            if future is not None:
+                future.fail(TransportError(msg.error))
+        elif isinstance(msg, StreamResponse):
+            future = self.outstanding_streams.pop(msg.stream_id, None)
+            if future is not None:
+                future.succeed(msg)
+        elif isinstance(msg, StreamFailure):
+            future = self.outstanding_streams.pop(msg.stream_id, None)
+            if future is not None:
+                future.fail(TransportError(msg.error))
+        else:
+            ctx.fire_channel_read(msg)
+
+
+class TransportClient:
+    """Client face of one channel: chunk fetches, RPCs, streams."""
+
+    _rpc_ids = itertools.count(1)
+
+    def __init__(self, channel: Channel, handler: TransportResponseHandler) -> None:
+        self.channel = channel
+        self.handler = handler
+
+    @property
+    def env(self):
+        return self.channel.env
+
+    def fetch_chunk(
+        self, stream_id: int, chunk_index: int, num_blocks: int = 1
+    ) -> "Event":
+        """Request one chunk; returns a future of :class:`ChunkFetchSuccess`."""
+        sid = StreamChunkId(stream_id, chunk_index)
+        future = self.env.event()
+        self.handler.outstanding_fetches[sid] = future
+        self.channel.write_and_flush(ChunkFetchRequest(sid, num_blocks))
+        return future
+
+    def send_rpc(self, payload: Any, nbytes: int = 0) -> "Event":
+        """Send an RPC; returns a future of the reply payload."""
+        rpc_id = next(TransportClient._rpc_ids)
+        future = self.env.event()
+        self.handler.outstanding_rpcs[rpc_id] = future
+        self.channel.write_and_flush(RpcRequest(rpc_id, payload, nbytes))
+        return future
+
+    def send_one_way(self, payload: Any, nbytes: int = 0) -> None:
+        self.channel.write_and_flush(OneWayMessage(payload, nbytes))
+
+    def stream(self, stream_id: str) -> "Event":
+        """Open a stream; returns a future of :class:`StreamResponse`."""
+        future = self.env.event()
+        self.handler.outstanding_streams[stream_id] = future
+        self.channel.write_and_flush(StreamRequest(stream_id))
+        return future
+
+    def close(self) -> None:
+        self.channel.close()
+
+
+# ---------------------------------------------------------------------------
+# context & factory
+# ---------------------------------------------------------------------------
+
+class TransportContext:
+    """Creates servers and clients sharing one RpcHandler/StreamManager.
+
+    ``pipeline_hook(channel, is_server)`` lets the MPI transports inject
+    their extra handlers / replace the transport write — this is the
+    modularity the paper claims for targeting the Netty layer.
+    """
+
+    def __init__(
+        self,
+        stack: "SocketStack",
+        rpc_handler: RpcHandler | None = None,
+        stream_manager: OneForOneStreamManager | None = None,
+        pipeline_hook: Callable[[Channel, bool], None] | None = None,
+    ) -> None:
+        self.stack = stack
+        self.env = stack.env
+        self.rpc_handler = rpc_handler or RpcHandler()
+        self.stream_manager = stream_manager or OneForOneStreamManager()
+        self.pipeline_hook = pipeline_hook
+
+    # -- pipelines ----------------------------------------------------------
+    def init_server_channel(self, channel: Channel) -> None:
+        p = channel.pipeline
+        p.add_last("encoder", MessageEncoder())
+        p.add_last("decoder", MessageDecoder())
+        if self.pipeline_hook is not None:
+            self.pipeline_hook(channel, True)
+        p.add_last(
+            "requestHandler",
+            TransportRequestHandler(self.rpc_handler, self.stream_manager),
+        )
+
+    def init_client_channel(self, channel: Channel) -> TransportResponseHandler:
+        p = channel.pipeline
+        p.add_last("encoder", MessageEncoder())
+        p.add_last("decoder", MessageDecoder())
+        if self.pipeline_hook is not None:
+            self.pipeline_hook(channel, False)
+        handler = TransportResponseHandler(self.env)
+        p.add_last("responseHandler", handler)
+        return handler
+
+    # -- endpoints ----------------------------------------------------------
+    def create_server(self, loop: EventLoop, node, port: int, child_group=None):
+        return (
+            ServerBootstrap(self.stack)
+            .group(loop, child_group)
+            .child_handler(self.init_server_channel)
+            .bind(node, port)
+        )
+
+    def create_client(
+        self, loop: EventLoop, node, remote: "SocketAddress"
+    ) -> Generator:
+        """Connect and build a :class:`TransportClient` (generator)."""
+        holder: dict[str, TransportResponseHandler] = {}
+
+        def init(channel: Channel) -> None:
+            holder["handler"] = self.init_client_channel(channel)
+
+        channel = yield from (
+            Bootstrap(self.stack).group(loop).handler(init).connect(node, remote)
+        )
+        return TransportClient(channel, holder["handler"])
+
+
+class TransportClientFactory:
+    """Pools one client per remote address per source node (Spark pools
+    ``spark.shuffle.io.numConnectionsPerPeer``, default 1). New clients'
+    channels are spread over an event-loop group so a blocked handler on
+    one connection does not stall the others."""
+
+    def __init__(self, context: TransportContext, loops, node) -> None:
+        from repro.netty.eventloop import EventLoopGroup
+
+        self.context = context
+        if isinstance(loops, EventLoop):
+            loops = EventLoopGroup([loops])
+        self.group: "EventLoopGroup" = loops
+        self.node = node
+        self._clients: dict[tuple[str, int], TransportClient] = {}
+        self._connecting: dict[tuple[str, int], Any] = {}
+
+    def get_client(self, remote: "SocketAddress") -> Generator:
+        key = (remote.host, remote.port)
+        while True:
+            client = self._clients.get(key)
+            if client is not None and client.channel.active:
+                return client
+            pending = self._connecting.get(key)
+            if pending is None:
+                break
+            # Another task is already connecting: join its wait.
+            yield pending
+        done = self.context.env.event()
+        self._connecting[key] = done
+        try:
+            client = yield from self.context.create_client(
+                self.group.next(), self.node, remote
+            )
+            self._clients[key] = client
+        finally:
+            del self._connecting[key]
+            done.succeed()
+        return client

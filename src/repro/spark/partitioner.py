@@ -1,0 +1,111 @@
+"""Partitioners: how keys map to reduce partitions.
+
+:class:`HashPartitioner` is Spark's default for groupByKey/reduceByKey;
+:class:`RangePartitioner` backs sortByKey and is built by *sampling the
+input* — which is why SortByTest's sort job is "Job2" in the paper's stage
+breakdown: the sampling pass is its own job.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import Any, Iterable, Sequence
+
+
+class Partitioner:
+    """Maps keys to partition ids in ``[0, num_partitions)``."""
+
+    def __init__(self, num_partitions: int) -> None:
+        if num_partitions < 1:
+            raise ValueError(f"need >= 1 partition, got {num_partitions}")
+        self.num_partitions = num_partitions
+
+    def partition(self, key: Any) -> int:
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self.num_partitions == other.num_partitions
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.num_partitions))
+
+
+class HashPartitioner(Partitioner):
+    """Spark's default: ``hash(key) mod numPartitions`` (non-negative)."""
+
+    def partition(self, key: Any) -> int:
+        return hash(key) % self.num_partitions
+
+
+class RangePartitioner(Partitioner):
+    """Sorted-range partitioning from sampled split points.
+
+    ``bounds`` has ``num_partitions - 1`` ascending split keys; keys ≤
+    ``bounds[i]`` land in partition ``i``.
+    """
+
+    def __init__(self, bounds: Sequence[Any], ascending: bool = True) -> None:
+        super().__init__(len(bounds) + 1)
+        self.bounds = list(bounds)
+        self.ascending = ascending
+        for a, b in zip(self.bounds, self.bounds[1:]):
+            if a > b:
+                raise ValueError("range bounds must be ascending")
+
+    def partition(self, key: Any) -> int:
+        idx = bisect.bisect_left(self.bounds, key)
+        if not self.ascending:
+            idx = self.num_partitions - 1 - idx
+        return idx
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, RangePartitioner)
+            and other.bounds == self.bounds
+            and other.ascending == self.ascending
+        )
+
+    def __hash__(self) -> int:
+        return hash(("RangePartitioner", tuple(self.bounds), self.ascending))
+
+    @staticmethod
+    def bounds_from_sample(
+        sample: Iterable[Any], num_partitions: int, seed: int = 17
+    ) -> list[Any]:
+        """Choose ``num_partitions - 1`` split points from a key sample.
+
+        Mirrors Spark's reservoir-sample + weighted-split approach closely
+        enough: sort the sample and take evenly spaced quantiles.
+        """
+        keys = sorted(sample)
+        if num_partitions <= 1 or not keys:
+            return []
+        bounds: list[Any] = []
+        step = len(keys) / num_partitions
+        last = None
+        for i in range(1, num_partitions):
+            candidate = keys[min(int(i * step), len(keys) - 1)]
+            if last is None or candidate > last:
+                bounds.append(candidate)
+                last = candidate
+        return bounds
+
+
+# Spark samples ~20 items per output partition when building range bounds.
+SAMPLE_SIZE_PER_PARTITION = 20
+
+
+def sample_for_range_bounds(records: Iterable[Any], num_partitions: int, seed: int = 17):
+    """Reservoir-sample keys for RangePartitioner construction."""
+    target = SAMPLE_SIZE_PER_PARTITION * num_partitions
+    rng = random.Random(seed)
+    reservoir: list[Any] = []
+    for i, key in enumerate(records):
+        if len(reservoir) < target:
+            reservoir.append(key)
+        else:
+            j = rng.randint(0, i)
+            if j < target:
+                reservoir[j] = key
+    return reservoir

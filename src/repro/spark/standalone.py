@@ -1,0 +1,208 @@
+"""Spark standalone-mode control plane: master, workers, driver registration.
+
+The paper's Fig-3 launch ends with a normal Spark standalone cluster: a
+master that workers register with, and a driver whose application request
+makes the master allocate executors on workers. This module implements
+that control-plane protocol over the reproduction's RPC layer (the same
+``TransportContext`` the data plane uses), so cluster bring-up is a real
+message exchange rather than framework fiat:
+
+* ``RegisterWorker(worker_id, cores, memory)``   → ``RegisteredWorker``
+* ``RegisterApplication(app_name, cores_wanted)`` → ``RegisteredApplication``
+  followed by ``LaunchExecutor`` one-way messages to the chosen workers
+* ``Heartbeat(worker_id)`` keep-alives; a worker missing
+  ``WORKER_TIMEOUT_S`` of heartbeats is marked dead and its executors lost.
+
+This is deliberately *control-plane only* — scheduling of tasks onto the
+executors (the performance-relevant part) lives in
+:mod:`repro.spark.deploy`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Generator
+
+from repro.netty.eventloop import EventLoop
+from repro.simnet.sockets import SocketAddress
+from repro.spark.network import RpcHandler, TransportContext
+
+MASTER_PORT = 7077
+WORKER_TIMEOUT_S = 60.0
+
+
+@dataclass
+class WorkerInfo:
+    worker_id: str
+    host: str
+    cores: int
+    memory_bytes: int
+    cores_free: int
+    last_heartbeat: float
+    alive: bool = True
+    executors: list[str] = field(default_factory=list)
+
+
+@dataclass
+class ApplicationInfo:
+    app_id: str
+    name: str
+    cores_wanted: int
+    executors: list[tuple[str, str, int]] = field(default_factory=list)  # (exec_id, worker_id, cores)
+
+
+class MasterRpcHandler(RpcHandler):
+    """The master's RPC endpoint."""
+
+    def __init__(self, master: "StandaloneMaster") -> None:
+        self.master = master
+
+    def receive(self, client_channel, payload, reply):
+        kind = payload[0]
+        if kind == "RegisterWorker":
+            _, worker_id, host, cores, memory = payload
+            info = self.master.register_worker(worker_id, host, cores, memory)
+            reply(("RegisteredWorker", self.master.master_url, info.worker_id), 64)
+        elif kind == "RegisterApplication":
+            _, name, cores_wanted = payload
+            app = self.master.register_application(name, cores_wanted)
+            reply(("RegisteredApplication", app.app_id, list(app.executors)), 128)
+        elif kind == "WorkerStatus":
+            _, worker_id = payload
+            info = self.master.workers.get(worker_id)
+            reply(("Status", info.alive if info else None), 32)
+        else:
+            raise ValueError(f"unknown master RPC {kind!r}")
+
+    def receive_one_way(self, client_channel, payload):
+        if payload[0] == "Heartbeat":
+            self.master.heartbeat(payload[1])
+
+
+class StandaloneMaster:
+    """Tracks workers and allocates executors to applications."""
+
+    _app_ids = itertools.count(0)
+    _exec_ids = itertools.count(0)
+
+    def __init__(self, env, context_stack, node, loop: EventLoop | None = None) -> None:
+        self.env = env
+        self.node = node
+        self.workers: dict[str, WorkerInfo] = {}
+        self.applications: dict[str, ApplicationInfo] = {}
+        self.loop = loop or EventLoop(env, "master-loop")
+        self.context = TransportContext(context_stack, rpc_handler=MasterRpcHandler(self))
+        self.server = None
+
+    @property
+    def master_url(self) -> str:
+        return f"spark://{self.node.name}:{MASTER_PORT}"
+
+    def start(self) -> None:
+        if self.loop._proc is None:
+            self.loop.start()
+        self.server = self.context.create_server(self.loop, self.node, MASTER_PORT)
+
+    def stop(self) -> None:
+        self.loop.stop()
+
+    # -- registry -----------------------------------------------------------
+    def register_worker(self, worker_id: str, host: str, cores: int, memory: int) -> WorkerInfo:
+        info = WorkerInfo(
+            worker_id=worker_id,
+            host=host,
+            cores=cores,
+            memory_bytes=memory,
+            cores_free=cores,
+            last_heartbeat=self.env.now,
+        )
+        self.workers[worker_id] = info
+        return info
+
+    def heartbeat(self, worker_id: str) -> None:
+        info = self.workers.get(worker_id)
+        if info is not None:
+            info.last_heartbeat = self.env.now
+            info.alive = True
+
+    def check_timeouts(self) -> list[str]:
+        """Mark workers without recent heartbeats dead; returns their ids."""
+        dead = []
+        for info in self.workers.values():
+            if info.alive and self.env.now - info.last_heartbeat > WORKER_TIMEOUT_S:
+                info.alive = False
+                info.cores_free = 0
+                dead.append(info.worker_id)
+        return dead
+
+    # -- executor allocation (spreadOut strategy, Spark's default) ----------
+    def register_application(self, name: str, cores_wanted: int) -> ApplicationInfo:
+        app = ApplicationInfo(app_id=f"app-{next(self._app_ids):04d}", name=name,
+                              cores_wanted=cores_wanted)
+        remaining = cores_wanted
+        # Round-robin single cores across alive workers (spreadOut=true),
+        # then coalesce per worker into one executor each.
+        alive = [w for w in self.workers.values() if w.alive and w.cores_free > 0]
+        grants: dict[str, int] = {w.worker_id: 0 for w in alive}
+        while remaining > 0 and any(w.cores_free - grants[w.worker_id] > 0 for w in alive):
+            for w in alive:
+                if remaining == 0:
+                    break
+                if w.cores_free - grants[w.worker_id] > 0:
+                    grants[w.worker_id] += 1
+                    remaining -= 1
+        for w in alive:
+            n = grants[w.worker_id]
+            if n == 0:
+                continue
+            exec_id = f"exec-{next(self._exec_ids):04d}"
+            w.cores_free -= n
+            w.executors.append(exec_id)
+            app.executors.append((exec_id, w.worker_id, n))
+        self.applications[app.app_id] = app
+        return app
+
+
+class StandaloneWorker:
+    """A worker daemon: registers with the master and heartbeats."""
+
+    def __init__(
+        self,
+        env,
+        context: TransportContext,
+        loop: EventLoop,
+        node,
+        worker_id: str,
+        cores: int,
+        memory: int,
+        heartbeat_period_s: float = 10.0,
+    ) -> None:
+        self.env = env
+        self.context = context
+        self.loop = loop
+        self.node = node
+        self.worker_id = worker_id
+        self.cores = cores
+        self.memory = memory
+        self.heartbeat_period_s = heartbeat_period_s
+        self.registered = False
+        self._client = None
+        self._beats = 0
+
+    def register_and_heartbeat(self, master_addr: SocketAddress, n_beats: int = 3) -> Generator:
+        """Register with the master, then send ``n_beats`` heartbeats."""
+        self._client = yield from self.context.create_client(
+            self.loop, self.node, master_addr
+        )
+        reply = yield self._client.send_rpc(
+            ("RegisterWorker", self.worker_id, self.node.name, self.cores, self.memory),
+            nbytes=96,
+        )
+        assert reply[0] == "RegisteredWorker"
+        self.registered = True
+        for _ in range(n_beats):
+            yield self.env.timeout(self.heartbeat_period_s)
+            self._client.send_one_way(("Heartbeat", self.worker_id), nbytes=32)
+            self._beats += 1
+        return reply[1]  # the master URL

@@ -1,0 +1,53 @@
+"""Pluggable communication transports (the paper's evaluation matrix)."""
+
+from repro.transports.base import Transport
+from repro.transports.mpi_basic import MpiBasicTransport
+from repro.transports.mpi_opt import MpiOptimizedTransport
+from repro.transports.nio import NioTransport
+from repro.transports.rdma import RdmaTransport
+
+TRANSPORTS: dict[str, type[Transport]] = {
+    "nio": NioTransport,
+    "rdma": RdmaTransport,
+    "mpi-basic": MpiBasicTransport,
+    "mpi-opt": MpiOptimizedTransport,
+}
+
+# Friendly aliases matching the paper's figure legends.
+ALIASES = {
+    "vanilla": "nio",
+    "ipoib": "nio",
+    "rdma-spark": "rdma",
+    "mpi": "mpi-opt",
+    "mpi4spark": "mpi-opt",
+    "mpi4spark-basic": "mpi-basic",
+    "mpi4spark-optimized": "mpi-opt",
+}
+
+
+def make_transport(name: str, env, cluster, loaded: bool = False) -> Transport:
+    """Instantiate a transport by name (accepts paper-legend aliases).
+
+    ``loaded=True`` selects the full-CPU-load wire models for CPU-bound
+    stacks — use it for end-to-end cluster runs, not microbenchmarks.
+    """
+    key = ALIASES.get(name.lower(), name.lower())
+    cls = TRANSPORTS.get(key)
+    if cls is None:
+        raise KeyError(
+            f"unknown transport {name!r}; choose from {sorted(TRANSPORTS)} "
+            f"or aliases {sorted(ALIASES)}"
+        )
+    return cls(env, cluster, loaded=loaded)
+
+
+__all__ = [
+    "Transport",
+    "NioTransport",
+    "RdmaTransport",
+    "MpiBasicTransport",
+    "MpiOptimizedTransport",
+    "TRANSPORTS",
+    "ALIASES",
+    "make_transport",
+]

@@ -1,0 +1,69 @@
+"""The pluggable transport abstraction.
+
+One :class:`Transport` instance describes how a whole Spark cluster
+communicates: which socket stacks exist, how channel pipelines are
+augmented, which event-loop flavour roles run, and what performance taxes
+the design carries (the Basic design's polling core / compute
+interference). The four concrete transports mirror the paper's evaluation
+matrix: Vanilla (NIO/IPoIB), RDMA-Spark, MPI4Spark-Basic and
+MPI4Spark-Optimized.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from repro.netty.channel import Channel
+from repro.netty.eventloop import EventLoop
+from repro.simnet.interconnect import Fabric, tcp_loaded_over, tcp_over
+from repro.simnet.sockets import SocketStack
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.endpoint import MpiEndpoint
+    from repro.mpi.runtime import MPIWorld
+    from repro.simnet.engine import SimEngine
+    from repro.simnet.topology import SimCluster
+
+
+class Transport:
+    """Base transport: vanilla Netty NIO over TCP (IPoIB)."""
+
+    name = "nio"
+    uses_mpi = False
+    # Cores permanently burned per executor by communication threads.
+    polling_tax_cores = 0
+    # Multiplier on task compute time from communication interference
+    # (cache pollution / scheduler churn from busy-polling threads).
+    compute_inflation = 1.0
+
+    def __init__(
+        self, env: "SimEngine", cluster: "SimCluster", loaded: bool = False
+    ) -> None:
+        """``loaded=True`` selects the under-full-CPU-load wire models for
+        CPU-dependent stacks (TCP/IPoIB, UCR) — the regime of the end-to-end
+        figures; idle-node microbenchmarks (Fig 8) use the defaults."""
+        self.env = env
+        self.cluster = cluster
+        self.loaded = loaded
+        self.fabric: Fabric = cluster.fabric
+        tcp_model = tcp_loaded_over(self.fabric) if loaded else tcp_over(self.fabric)
+        self.control_stack = SocketStack(env, cluster, tcp_over(self.fabric))
+        self.data_stack = SocketStack(env, cluster, tcp_model)
+        self.mpi_world: "MPIWorld | None" = None
+
+    # -- role wiring -----------------------------------------------------------
+    def make_loop(self, name: str, endpoint: "MpiEndpoint | None" = None) -> EventLoop:
+        loop = EventLoop(self.env, name)
+        loop.mpi_endpoint = endpoint
+        return loop
+
+    def pipeline_hook(self, channel: Channel, is_server: bool) -> None:
+        """Augment a data-plane channel pipeline (no-op for NIO)."""
+
+    def establish(self, channel: Channel, endpoint: "MpiEndpoint | None") -> Generator:
+        """Post-connect setup on a client data channel (no-op for NIO)."""
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def describe(self) -> str:
+        return f"{self.name} over {self.fabric.name}"

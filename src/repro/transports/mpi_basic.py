@@ -1,0 +1,63 @@
+"""MPI4Spark-Basic: all messages over MPI, selector loop polls MPI_Iprobe.
+
+The paper's first design (Sec. VI-D): the blocking ``select`` becomes a
+non-blocking ``selectNow``, every iteration additionally ``MPI_Iprobe``-s
+for matching sends, and *all* Spark message types go over MPI. The
+constant polling consumes CPU and starves compute tasks — which Fig. 9
+quantifies and which this class models through two taxes:
+
+* ``polling_tax_cores = 4`` — the spinning selector threads (shuffle
+  client + server pools) permanently occupy cores on the executor;
+* ``compute_inflation = 1.3`` — residual interference (cache pollution and
+  scheduler churn from a hot spinning thread sharing the socket) on task
+  compute time. The value is calibrated so Fig-9's Basic-vs-Optimized gap
+  lands near the paper's; see workloads/calibration.py.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.core.handshake import ensure_handshake
+from repro.core.mpi_netty import (
+    MpiBasicEventLoop,
+    NotifyingHandshakeHandler,
+    basic_transport_write,
+)
+from repro.mpi.runtime import MPIWorld
+from repro.netty.channel import Channel
+from repro.simnet.interconnect import mpi_over
+from repro.transports.base import Transport
+
+
+class MpiBasicTransport(Transport):
+    """MPI4Spark-Basic (evaluated in Fig. 9, then abandoned)."""
+
+    name = "mpi-basic"
+    uses_mpi = True
+    polling_tax_cores = 4
+    compute_inflation = 1.3
+
+    def __init__(self, env, cluster, loaded: bool = False) -> None:
+        super().__init__(env, cluster, loaded)
+        self.mpi_world = MPIWorld(env, cluster, mpi_over(self.fabric))
+
+    def make_loop(self, name: str, endpoint=None) -> MpiBasicEventLoop:
+        loop = MpiBasicEventLoop(self.env, name)
+        loop.mpi_endpoint = endpoint
+        return loop
+
+    def pipeline_hook(self, channel: Channel, is_server: bool) -> None:
+        channel.pipeline.add_first("mpiHandshake", NotifyingHandshakeHandler())
+        channel._transport_write = lambda msg, promise: basic_transport_write(
+            channel, msg, promise
+        )
+
+    def establish(self, channel: Channel, endpoint) -> Generator:
+        if endpoint is None:
+            raise RuntimeError("MPI transport requires an MpiEndpoint per role")
+        yield from ensure_handshake(channel, endpoint)
+        loop = channel.event_loop
+        hook = getattr(loop, "on_mpi_channel_bound", None)
+        if hook is not None:
+            hook(channel)

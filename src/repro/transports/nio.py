@@ -1,0 +1,15 @@
+"""Vanilla Spark transport: Netty NIO over TCP (IPoIB on IB fabrics).
+
+This *is* the base :class:`~repro.transports.base.Transport`; the subclass
+exists so the registry reads one class per paper configuration.
+"""
+
+from __future__ import annotations
+
+from repro.transports.base import Transport
+
+
+class NioTransport(Transport):
+    """Baseline: every message over kernel TCP sockets (IPoIB)."""
+
+    name = "nio"

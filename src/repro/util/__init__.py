@@ -1,0 +1,51 @@
+"""Shared utilities: units, configuration, statistics, serialization sizing.
+
+These helpers are deliberately dependency-light; every other subpackage in
+:mod:`repro` builds on them.
+"""
+
+from repro.util.units import (
+    KB,
+    MB,
+    GB,
+    TB,
+    KiB,
+    MiB,
+    GiB,
+    TiB,
+    US,
+    MS,
+    SEC,
+    fmt_bytes,
+    fmt_time,
+    parse_bytes,
+    gbps,
+)
+from repro.util.config import Config, ConfigError
+from repro.util.stats import OnlineStats, percentile, summarize
+from repro.util.serialization import sizeof, SizedPayload
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "TB",
+    "KiB",
+    "MiB",
+    "GiB",
+    "TiB",
+    "US",
+    "MS",
+    "SEC",
+    "fmt_bytes",
+    "fmt_time",
+    "parse_bytes",
+    "gbps",
+    "Config",
+    "ConfigError",
+    "OnlineStats",
+    "percentile",
+    "summarize",
+    "sizeof",
+    "SizedPayload",
+]

@@ -1,0 +1,6 @@
+"""Benchmark workloads: OHB RDD benchmarks and the Intel HiBench suite."""
+
+from repro.workloads.calibration import COSTS, WorkloadCosts
+from repro.workloads.ohb import GROUP_BY, SORT_BY, OhbWorkload
+
+__all__ = ["COSTS", "WorkloadCosts", "OhbWorkload", "GROUP_BY", "SORT_BY"]

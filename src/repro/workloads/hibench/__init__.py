@@ -1,0 +1,9 @@
+"""Intel HiBench workloads (Table IV): ML, micro and graph benchmarks.
+
+Real sample-scale implementations (ml/micro/graph + datagen) plus the
+Huge-scale simulation profiles (suite).
+"""
+
+from repro.workloads.hibench.suite import MAX_SIMULATED_ROUNDS, SPECS, HiBenchSpec
+
+__all__ = ["SPECS", "HiBenchSpec", "MAX_SIMULATED_ROUNDS"]

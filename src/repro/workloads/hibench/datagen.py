@@ -1,0 +1,121 @@
+"""Synthetic data generators for the HiBench workloads (Table IV).
+
+Each generator produces one RDD partition deterministically from its split
+index, at *sample* scale; nominal ("Huge") sizes live in
+:mod:`repro.workloads.hibench.suite` and only affect the scaled profiles.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from repro.spark.context import SparkContext
+from repro.spark.rdd import RDD
+
+
+def labeled_points(
+    sc: SparkContext, n_points: int, dim: int, num_partitions: int, seed: int = 5
+) -> RDD:
+    """(label, feature-vector) pairs for SVM / LogisticRegression."""
+
+    def gen(split: int):
+        rng = np.random.default_rng(seed + split)
+        per = n_points // num_partitions
+        for _ in range(per):
+            x = rng.normal(size=dim)
+            w = np.linspace(-1, 1, dim)
+            label = 1.0 if float(x @ w) + rng.normal(0, 0.1) > 0 else -1.0
+            yield (label, x)
+
+    return sc.generated(num_partitions, gen, name="labeled-points")
+
+
+def gaussian_mixture(
+    sc: SparkContext, n_points: int, dim: int, k: int, num_partitions: int, seed: int = 9
+) -> RDD:
+    """Points drawn from k Gaussian components (for GMM)."""
+
+    def gen(split: int):
+        rng = np.random.default_rng(seed + split)
+        per = n_points // num_partitions
+        centers = np.stack([np.full(dim, 3.0 * c) for c in range(k)])
+        for _ in range(per):
+            c = rng.integers(0, k)
+            yield centers[c] + rng.normal(size=dim)
+
+    return sc.generated(num_partitions, gen, name="gmm-points")
+
+
+def documents(
+    sc: SparkContext,
+    n_docs: int,
+    vocab: int,
+    words_per_doc: int,
+    num_partitions: int,
+    seed: int = 13,
+) -> RDD:
+    """(doc_id, [word ids]) for LDA (Zipf-ish word frequencies)."""
+
+    def gen(split: int):
+        rng = random.Random(seed + split)
+        per = n_docs // num_partitions
+        base = split * per
+        for d in range(per):
+            words = [
+                min(int(rng.paretovariate(1.3)), vocab - 1)
+                for _ in range(words_per_doc)
+            ]
+            yield (base + d, words)
+
+    return sc.generated(num_partitions, gen, name="lda-docs")
+
+
+def tera_records(
+    sc: SparkContext, n_records: int, num_partitions: int, seed: int = 17
+) -> RDD:
+    """TeraSort records: 10-byte key, 90-byte payload."""
+
+    def gen(split: int):
+        rng = random.Random(seed + split)
+        per = n_records // num_partitions
+        for _ in range(per):
+            key = bytes(rng.getrandbits(8) for _ in range(10))
+            yield (key, b"\x00" * 90)
+
+    return sc.generated(num_partitions, gen, name="tera-records")
+
+
+def kv_records(
+    sc: SparkContext, n_records: int, num_partitions: int, value_bytes: int = 92,
+    seed: int = 21,
+) -> RDD:
+    """Generic records for the Repartition micro benchmark."""
+
+    def gen(split: int):
+        rng = random.Random(seed + split)
+        per = n_records // num_partitions
+        for _ in range(per):
+            yield (rng.getrandbits(32), bytes(value_bytes))
+
+    return sc.generated(num_partitions, gen, name="kv-records")
+
+
+def graph_edges(
+    sc: SparkContext, n_vertices: int, avg_degree: int, num_partitions: int,
+    seed: int = 29,
+) -> RDD:
+    """Weighted directed edges (src, (dst, weight)) for NWeight."""
+
+    def gen(split: int):
+        rng = random.Random(seed + split)
+        per = n_vertices // num_partitions
+        base = split * per
+        for v in range(per):
+            src = base + v
+            for _ in range(avg_degree):
+                dst = rng.randrange(n_vertices)
+                yield (src, (dst, rng.random()))
+
+    return sc.generated(num_partitions, gen, name="graph-edges")

@@ -1,0 +1,58 @@
+"""HiBench graph workload: NWeight.
+
+NWeight "computes associations between two vertices that are n-hop away"
+(Table IV): starting from direct edge weights, each hop joins the current
+association list with the adjacency list and aggregates path weights —
+a join-shaped shuffle every hop.
+"""
+
+from __future__ import annotations
+
+from repro.spark.context import SparkContext
+from repro.spark.rdd import RDD
+from repro.workloads.hibench import datagen
+
+# Keep only the strongest k associations per vertex each hop (as HiBench does).
+TOP_K = 10
+
+
+def nweight(
+    sc: SparkContext,
+    n_vertices: int = 120,
+    avg_degree: int = 4,
+    hops: int = 2,
+    num_partitions: int = 4,
+) -> RDD:
+    """Returns (vertex, [(other_vertex, weight)]) after ``hops`` hops."""
+    edges = datagen.graph_edges(sc, n_vertices, avg_degree, num_partitions).cache()
+    # associations: (vertex, [(reachable, weight)])
+    assoc = edges.map_values(lambda dw: [dw]).reduce_by_key(
+        lambda a, b: a + b, num_partitions
+    )
+    for _ in range(hops - 1):
+        # one hop: for each (v -> u, w1) and association (u -> t, w2),
+        # produce (v -> t, w1*w2). Join on the intermediate vertex u.
+        flipped = edges  # (src, (dst, w))
+        hop = (
+            flipped.map(lambda kv: (kv[1][0], (kv[0], kv[1][1])))  # (dst, (src, w))
+            .join(assoc, num_partitions)  # (u, ((v, w1), [(t, w2)...]))
+            .flat_map(
+                lambda kv: [
+                    (src, (t, w1 * w2))
+                    for (src, w1) in [kv[1][0]]
+                    for (t, w2) in kv[1][1]
+                ]
+            )
+            .group_by_key(num_partitions)
+        )
+
+        def top_k(pairs):
+            best: dict[int, float] = {}
+            for t, w in pairs:
+                if t not in best or w > best[t]:
+                    best[t] = w
+            ranked = sorted(best.items(), key=lambda tw: -tw[1])[:TOP_K]
+            return ranked
+
+        assoc = hop.map_values(top_k)
+    return assoc

@@ -1,0 +1,24 @@
+"""HiBench micro benchmarks: TeraSort and Repartition (Table IV)."""
+
+from __future__ import annotations
+
+from repro.spark.context import SparkContext
+from repro.spark.rdd import RDD
+from repro.workloads.hibench import datagen
+
+
+def terasort(
+    sc: SparkContext, n_records: int = 3000, num_partitions: int = 4
+) -> RDD:
+    """Sort 100-byte records by their 10-byte key (the TeraSort kernel)."""
+    records = datagen.tera_records(sc, n_records, num_partitions)
+    return records.sort_by_key(num_partitions=num_partitions)
+
+
+def repartition(
+    sc: SparkContext, n_records: int = 3000, num_partitions: int = 4,
+    target_partitions: int | None = None,
+) -> RDD:
+    """Round-robin every record to a new partition — pure shuffle."""
+    records = datagen.kv_records(sc, n_records, num_partitions)
+    return records.repartition(target_partitions or num_partitions)

@@ -1,0 +1,203 @@
+"""Collective algorithm correctness across varied communicator sizes."""
+
+import pytest
+
+from repro.mpi import MPIWorld, RankSpec
+from repro.simnet import IB_HDR, SimCluster, SimEngine, mpi_over
+
+
+def run_collective(n, main, nodes_count=4):
+    env = SimEngine()
+    cluster = SimCluster(env, IB_HDR, n_nodes=nodes_count, cores_per_node=4)
+    world = MPIWorld(env, cluster, mpi_over(IB_HDR))
+    specs = [RankSpec(main=main, node=i % nodes_count) for i in range(n)]
+    procs = world.launch(specs)
+    env.run()
+    return [p.sim_process.value for p in procs]
+
+
+SIZES = [1, 2, 3, 4, 5, 8, 13]
+
+
+class TestBarrier:
+    @pytest.mark.parametrize("n", SIZES)
+    def test_barrier_synchronizes(self, n):
+        def main(proc):
+            comm = proc.comm_world
+            # Ranks arrive at very different times; all must leave together.
+            yield proc.env.timeout(comm.rank * 1.0)
+            yield from comm.barrier()
+            return proc.env.now
+
+        times = run_collective(n, main)
+        # Nobody leaves before the last arrival at t = n-1.
+        assert all(t >= (n - 1) for t in times)
+
+
+class TestBcast:
+    @pytest.mark.parametrize("n", SIZES)
+    def test_bcast_from_zero(self, n):
+        def main(proc):
+            comm = proc.comm_world
+            obj = {"payload": 99} if comm.rank == 0 else None
+            value = yield from comm.bcast(obj, root=0)
+            return value
+
+        results = run_collective(n, main)
+        assert all(r == {"payload": 99} for r in results)
+
+    @pytest.mark.parametrize("root", [0, 1, 2])
+    def test_bcast_nonzero_root(self, root):
+        def main(proc):
+            comm = proc.comm_world
+            obj = f"root-{comm.rank}" if comm.rank == root else None
+            value = yield from comm.bcast(obj, root=root)
+            return value
+
+        results = run_collective(4, main)
+        assert all(r == f"root-{root}" for r in results)
+
+    def test_bcast_bad_root(self):
+        def main(proc):
+            comm = proc.comm_world
+            value = yield from comm.bcast("x", root=10)
+            return value
+
+        with pytest.raises(Exception):
+            run_collective(2, main)
+
+
+class TestGatherScatter:
+    @pytest.mark.parametrize("n", SIZES)
+    def test_gather_to_root(self, n):
+        def main(proc):
+            comm = proc.comm_world
+            result = yield from comm.gather(comm.rank * 10, root=0)
+            return result
+
+        results = run_collective(n, main)
+        assert results[0] == [i * 10 for i in range(n)]
+        assert all(r is None for r in results[1:])
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_scatter_from_root(self, n):
+        def main(proc):
+            comm = proc.comm_world
+            objs = [f"item{i}" for i in range(comm.size)] if comm.rank == 0 else None
+            value = yield from comm.scatter(objs, root=0)
+            return value
+
+        results = run_collective(n, main)
+        assert results == [f"item{i}" for i in range(n)]
+
+    def test_scatter_wrong_length(self):
+        def main(proc):
+            comm = proc.comm_world
+            objs = ["only-one"] if comm.rank == 0 else None
+            value = yield from comm.scatter(objs, root=0)
+            return value
+
+        with pytest.raises(Exception):
+            run_collective(3, main)
+
+
+class TestAllgather:
+    @pytest.mark.parametrize("n", SIZES)
+    def test_allgather_ring(self, n):
+        def main(proc):
+            comm = proc.comm_world
+            result = yield from comm.allgather(f"r{comm.rank}")
+            return result
+
+        results = run_collective(n, main)
+        expected = [f"r{i}" for i in range(n)]
+        assert all(r == expected for r in results)
+
+
+class TestReduce:
+    @pytest.mark.parametrize("n", SIZES)
+    def test_reduce_sum(self, n):
+        def main(proc):
+            comm = proc.comm_world
+            result = yield from comm.reduce(comm.rank + 1, root=0)
+            return result
+
+        results = run_collective(n, main)
+        assert results[0] == n * (n + 1) // 2
+        assert all(r is None for r in results[1:])
+
+    def test_reduce_custom_op(self):
+        def main(proc):
+            comm = proc.comm_world
+            result = yield from comm.reduce(comm.rank + 1, op=max, root=0)
+            return result
+
+        results = run_collective(5, main)
+        assert results[0] == 5
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_allreduce(self, n):
+        def main(proc):
+            comm = proc.comm_world
+            result = yield from comm.allreduce(1)
+            return result
+
+        results = run_collective(n, main)
+        assert all(r == n for r in results)
+
+
+class TestAlltoall:
+    @pytest.mark.parametrize("n", SIZES)
+    def test_alltoall_exchange(self, n):
+        def main(proc):
+            comm = proc.comm_world
+            objs = [(comm.rank, j) for j in range(comm.size)]
+            result = yield from comm.alltoall(objs)
+            return result
+
+        results = run_collective(n, main)
+        for i, row in enumerate(results):
+            assert row == [(j, i) for j in range(n)]
+
+    def test_alltoall_wrong_length(self):
+        def main(proc):
+            comm = proc.comm_world
+            result = yield from comm.alltoall([1])
+            return result
+
+        with pytest.raises(Exception):
+            run_collective(3, main)
+
+
+class TestCollectiveIsolation:
+    def test_pt2pt_and_collectives_do_not_interfere(self):
+        # User pt2pt messages with tags colliding with collective tags must
+        # never be swallowed by a collective (separate context ids).
+        def main(proc):
+            comm = proc.comm_world
+            if comm.rank == 0:
+                yield from comm.send("user-msg", dest=1, tag=1)
+                yield from comm.barrier()
+                return "done0"
+            value_req = comm.irecv(source=0, tag=1)
+            yield from comm.barrier()
+            value = yield from value_req.wait()
+            return value
+
+        results = run_collective(2, main)
+        assert results == ["done0", "user-msg"]
+
+    def test_back_to_back_collectives(self):
+        def main(proc):
+            comm = proc.comm_world
+            a = yield from comm.allgather(comm.rank)
+            b = yield from comm.allreduce(comm.rank)
+            yield from comm.barrier()
+            c = yield from comm.bcast("last" if comm.rank == 0 else None, root=0)
+            return (a, b, c)
+
+        results = run_collective(4, main)
+        for a, b, c in results:
+            assert a == [0, 1, 2, 3]
+            assert b == 6
+            assert c == "last"

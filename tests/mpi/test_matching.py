@@ -1,0 +1,133 @@
+"""Unit tests for the MPI matching engine (queues, wildcards, probes)."""
+
+import pytest
+
+from repro.mpi.envelope import Envelope, Protocol
+from repro.mpi.matching import MatchingEngine
+from repro.mpi.request import Request
+from repro.mpi.status import ANY_SOURCE, ANY_TAG, Status
+from repro.simnet import SimEngine
+
+
+@pytest.fixture
+def env():
+    return SimEngine()
+
+
+def make_envelope(src_rank=0, tag=1, ctx=100, nbytes=10, seq_payload=None):
+    return Envelope(
+        src_gid=src_rank,
+        src_rank=src_rank,
+        dst_gid=99,
+        context_id=ctx,
+        tag=tag,
+        payload=seq_payload,
+        nbytes=nbytes,
+        protocol=Protocol.EAGER,
+    )
+
+
+@pytest.fixture
+def engine(env):
+    matches = []
+
+    def on_match(envl, posted, buffered):
+        matches.append((envl, posted, buffered))
+
+    eng = MatchingEngine(env, on_match)
+    eng.test_matches = matches
+    return eng
+
+
+class TestDelivery:
+    def test_unmatched_goes_to_unexpected(self, engine):
+        engine.deliver(make_envelope())
+        assert len(engine.unexpected) == 1
+        assert engine.test_matches == []
+
+    def test_posted_recv_matches_arrival(self, env, engine):
+        req = Request(env, "recv")
+        engine.post_recv(0, 1, 100, req)
+        engine.deliver(make_envelope())
+        assert len(engine.test_matches) == 1
+        _, _, buffered = engine.test_matches[0]
+        assert buffered is False
+        assert engine.n_posted_matches == 1
+
+    def test_recv_matches_unexpected_with_buffer_flag(self, env, engine):
+        engine.deliver(make_envelope())
+        req = Request(env, "recv")
+        engine.post_recv(0, 1, 100, req)
+        _, _, buffered = engine.test_matches[0]
+        assert buffered is True
+        assert engine.n_unexpected_matches == 1
+
+    def test_fifo_matching_order(self, env, engine):
+        engine.deliver(make_envelope(seq_payload="first"))
+        engine.deliver(make_envelope(seq_payload="second"))
+        engine.post_recv(0, 1, 100, Request(env, "recv"))
+        assert engine.test_matches[0][0].payload == "first"
+
+    def test_context_isolation(self, env, engine):
+        engine.deliver(make_envelope(ctx=100))
+        engine.post_recv(0, 1, 102, Request(env, "recv"))
+        assert engine.test_matches == []
+        assert len(engine.posted) == 1
+        assert len(engine.unexpected) == 1
+
+    def test_wildcard_source_and_tag(self, env, engine):
+        engine.deliver(make_envelope(src_rank=5, tag=9))
+        engine.post_recv(ANY_SOURCE, ANY_TAG, 100, Request(env, "recv"))
+        assert len(engine.test_matches) == 1
+
+    def test_selective_recv_skips_nonmatching(self, env, engine):
+        engine.deliver(make_envelope(tag=1))
+        engine.deliver(make_envelope(tag=2))
+        engine.post_recv(0, 2, 100, Request(env, "recv"))
+        assert engine.test_matches[0][0].tag == 2
+        assert len(engine.unexpected) == 1  # tag=1 still queued
+
+    def test_posted_order_respected(self, env, engine):
+        r1, r2 = Request(env, "recv"), Request(env, "recv")
+        engine.post_recv(ANY_SOURCE, ANY_TAG, 100, r1)
+        engine.post_recv(ANY_SOURCE, ANY_TAG, 100, r2)
+        engine.deliver(make_envelope())
+        assert engine.test_matches[0][1].request is r1
+
+
+class TestProbes:
+    def test_iprobe_counts_calls(self, engine):
+        assert engine.iprobe(ANY_SOURCE, ANY_TAG, 100) is False
+        engine.deliver(make_envelope())
+        assert engine.iprobe(ANY_SOURCE, ANY_TAG, 100) is True
+        assert engine.n_iprobe_calls == 2
+
+    def test_iprobe_fills_status(self, engine):
+        engine.deliver(make_envelope(src_rank=3, tag=7, nbytes=64))
+        status = Status()
+        assert engine.iprobe(3, 7, 100, status)
+        assert (status.source, status.tag, status.nbytes) == (3, 7, 64)
+
+    def test_iprobe_does_not_consume(self, engine):
+        engine.deliver(make_envelope())
+        engine.iprobe(ANY_SOURCE, ANY_TAG, 100)
+        assert len(engine.unexpected) == 1
+
+    def test_probe_event_immediate_when_queued(self, engine):
+        engine.deliver(make_envelope())
+        ev = engine.probe_event(ANY_SOURCE, ANY_TAG, 100)
+        assert ev.triggered
+
+    def test_probe_event_fires_on_arrival(self, env, engine):
+        ev = engine.probe_event(0, 1, 100)
+        assert not ev.triggered
+        engine.deliver(make_envelope())
+        assert ev.triggered
+        assert ev.value.tag == 1
+
+    def test_probe_event_filter(self, env, engine):
+        ev = engine.probe_event(0, 5, 100)
+        engine.deliver(make_envelope(tag=1))
+        assert not ev.triggered
+        engine.deliver(make_envelope(tag=5))
+        assert ev.triggered

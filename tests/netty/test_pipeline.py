@@ -1,0 +1,182 @@
+"""Pipeline and handler propagation tests (no network needed)."""
+
+import pytest
+
+from repro.netty import (
+    Channel,
+    ChannelHandler,
+    ChannelPipeline,
+    EventLoop,
+    PipelineError,
+)
+from repro.simnet import IB_EDR, SimCluster, SimEngine, tcp_over
+from repro.simnet.sockets import SocketAddress, SocketStack
+
+
+class Recorder(ChannelHandler):
+    """Inbound handler recording and forwarding events."""
+
+    def __init__(self, name, log, transform=None, consume=False):
+        self.tag = name
+        self.log = log
+        self.transform = transform
+        self.consume = consume
+
+    def channel_active(self, ctx):
+        self.log.append((self.tag, "active"))
+        ctx.fire_channel_active()
+
+    def channel_read(self, ctx, msg):
+        self.log.append((self.tag, "read", msg))
+        if self.consume:
+            return
+        if self.transform:
+            msg = self.transform(msg)
+        ctx.fire_channel_read(msg)
+
+    def channel_inactive(self, ctx):
+        self.log.append((self.tag, "inactive"))
+        ctx.fire_channel_inactive()
+
+
+class OutRecorder(ChannelHandler):
+    def __init__(self, tag, log, transform=None):
+        self.tag = tag
+        self.log = log
+        self.transform = transform
+
+    def write(self, ctx, msg, promise):
+        self.log.append((self.tag, "write", msg))
+        if self.transform:
+            msg = self.transform(msg)
+        ctx.write(msg, promise)
+
+
+@pytest.fixture
+def channel():
+    env = SimEngine()
+    cluster = SimCluster(env, IB_EDR, n_nodes=2, cores_per_node=2)
+    stack = SocketStack(env, cluster, tcp_over(IB_EDR))
+    stack.listen(0, 1)
+    loop = EventLoop(env)
+    result = {}
+
+    def client(env):
+        sock = yield from stack.connect(1, SocketAddress("node0", 1))
+        result["channel"] = Channel(loop, sock)
+
+    env.process(client(env))
+    env.run()
+    return result["channel"]
+
+
+class TestPipelineStructure:
+    def test_add_last_order(self, channel):
+        log = []
+        p = channel.pipeline
+        p.add_last("a", Recorder("a", log))
+        p.add_last("b", Recorder("b", log))
+        assert p.names() == ["a", "b"]
+
+    def test_add_first(self, channel):
+        log = []
+        p = channel.pipeline
+        p.add_last("a", Recorder("a", log))
+        p.add_first("z", Recorder("z", log))
+        assert p.names() == ["z", "a"]
+
+    def test_duplicate_name_rejected(self, channel):
+        p = channel.pipeline
+        p.add_last("a", Recorder("a", []))
+        with pytest.raises(PipelineError):
+            p.add_last("a", Recorder("a", []))
+
+    def test_remove_and_get(self, channel):
+        log = []
+        p = channel.pipeline
+        h = Recorder("a", log)
+        p.add_last("a", h)
+        assert p.get("a") is h
+        assert p.remove("a") is h
+        assert p.names() == []
+        with pytest.raises(PipelineError):
+            p.get("a")
+
+    def test_remove_missing_raises(self, channel):
+        with pytest.raises(PipelineError):
+            channel.pipeline.remove("nope")
+
+
+class TestInboundPropagation:
+    def test_read_flows_head_to_tail(self, channel):
+        log = []
+        p = channel.pipeline
+        p.add_last("a", Recorder("a", log))
+        p.add_last("b", Recorder("b", log))
+        p.fire_channel_read("msg")
+        assert log == [("a", "read", "msg"), ("b", "read", "msg")]
+
+    def test_handler_can_transform(self, channel):
+        log = []
+        p = channel.pipeline
+        p.add_last("a", Recorder("a", log, transform=lambda m: m.upper()))
+        p.add_last("b", Recorder("b", log))
+        p.fire_channel_read("msg")
+        assert log[-1] == ("b", "read", "MSG")
+
+    def test_handler_can_consume(self, channel):
+        log = []
+        p = channel.pipeline
+        p.add_last("a", Recorder("a", log, consume=True))
+        p.add_last("b", Recorder("b", log))
+        p.fire_channel_read("msg")
+        assert log == [("a", "read", "msg")]
+        assert p.unhandled_reads == []
+
+    def test_unconsumed_read_reaches_tail(self, channel):
+        channel.pipeline.fire_channel_read("orphan")
+        assert channel.pipeline.unhandled_reads == ["orphan"]
+
+    def test_active_and_inactive_propagate(self, channel):
+        log = []
+        channel.pipeline.add_last("a", Recorder("a", log))
+        channel.pipeline.fire_channel_active()
+        channel.pipeline.fire_channel_inactive()
+        assert ("a", "active") in log and ("a", "inactive") in log
+
+
+class TestOutboundPropagation:
+    def test_write_flows_tail_to_head(self, channel):
+        log = []
+        p = channel.pipeline
+        p.add_last("a", OutRecorder("a", log))
+        p.add_last("b", OutRecorder("b", log))
+        channel.write_and_flush("out")
+        # Outbound visits b (closer to tail) before a.
+        assert [e[0] for e in log] == ["b", "a"]
+
+    def test_write_reaches_socket(self, channel):
+        channel.write_and_flush("payload")
+        assert channel.socket.peer is not None
+
+    def test_write_promise_succeeds(self, channel):
+        promise = channel.write_and_flush("x")
+        assert promise.triggered and promise.ok
+
+
+class TestExceptionFlow:
+    def test_exception_recorded_at_tail(self, channel):
+        channel.pipeline.fire_exception_caught(ValueError("boom"))
+        assert len(channel.pipeline.unhandled_exceptions) == 1
+
+    def test_handler_intercepts_exception(self, channel):
+        caught = []
+
+        class Catcher(ChannelHandler):
+            def exception_caught(self, ctx, exc):
+                caught.append(exc)
+
+        channel.pipeline.add_last("c", Catcher())
+        channel.pipeline.fire_exception_caught(ValueError("boom"))
+        assert len(caught) == 1
+        assert channel.pipeline.unhandled_exceptions == []

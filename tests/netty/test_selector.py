@@ -1,0 +1,146 @@
+"""Selector unit tests (the Fig-5 primitive both designs revolve around)."""
+
+import pytest
+
+from repro.netty import Channel, EventLoop
+from repro.netty.selector import OP_ACCEPT, OP_READ, Selector
+from repro.simnet import IB_EDR, SimCluster, SimEngine, tcp_over
+from repro.simnet.sockets import SocketAddress, SocketStack
+
+
+@pytest.fixture
+def rig():
+    env = SimEngine()
+    cluster = SimCluster(env, IB_EDR, n_nodes=2, cores_per_node=2)
+    stack = SocketStack(env, cluster, tcp_over(IB_EDR))
+    return env, cluster, stack
+
+
+def connect_pair(env, stack, loop):
+    stack_listener = stack.listen(0, 9000)
+    holder = {}
+
+    def server(env):
+        holder["server_sock"] = yield stack_listener.accept()
+
+    def client(env):
+        sock = yield from stack.connect(1, SocketAddress("node0", 9000))
+        holder["client"] = Channel(loop, sock)
+
+    env.process(server(env))
+    env.process(client(env))
+    env.run()
+    return holder["client"], holder["server_sock"]
+
+
+class TestSelectNow:
+    def test_empty_selector(self, rig):
+        env, cluster, stack = rig
+        selector = Selector(env)
+        assert selector.select_now() == []
+        assert selector.select_now_calls == 1
+
+    def test_readable_channel_reported(self, rig):
+        env, cluster, stack = rig
+        loop = EventLoop(env)
+        channel, server_sock = connect_pair(env, stack, loop)
+        selector = Selector(env)
+        key = selector.register_channel(channel)
+        assert selector.select_now() == []
+        server_sock.send("data", 10)
+        env.run()
+        ready = selector.select_now()
+        assert ready == [key]
+        assert key.is_readable()
+
+    def test_acceptable_listener_reported(self, rig):
+        env, cluster, stack = rig
+        selector = Selector(env)
+        listener = stack.listen(0, 9001)
+        key = selector.register_acceptor(listener, lambda ch: None)
+
+        def client(env):
+            yield from stack.connect(1, SocketAddress("node0", 9001))
+
+        env.process(client(env))
+        env.run()
+        assert selector.select_now() == [key]
+        assert key.is_acceptable()
+
+    def test_deregister_removes_key(self, rig):
+        env, cluster, stack = rig
+        loop = EventLoop(env)
+        channel, server_sock = connect_pair(env, stack, loop)
+        selector = Selector(env)
+        selector.register_channel(channel)
+        selector.deregister(channel)
+        server_sock.send("data", 10)
+        env.run()
+        assert selector.select_now() == []
+
+
+class TestBlockingSelect:
+    def test_select_blocks_until_readable(self, rig):
+        env, cluster, stack = rig
+        loop = EventLoop(env)
+        channel, server_sock = connect_pair(env, stack, loop)
+        selector = Selector(env)
+        selector.register_channel(channel)
+
+        def selecting(env):
+            ready = yield from selector.select()
+            return (env.now, len(ready))
+
+        def sender(env):
+            yield env.timeout(5.0)
+            server_sock.send("late", 10)
+
+        p = env.process(selecting(env))
+        env.process(sender(env))
+        env.run()
+        t, n = p.value
+        assert t >= 5.0 and n == 1
+
+    def test_wakeup_unblocks_select(self, rig):
+        env, cluster, stack = rig
+        selector = Selector(env)
+
+        def selecting(env):
+            ready = yield from selector.select()
+            return (env.now, ready)
+
+        def waker(env):
+            yield env.timeout(2.0)
+            selector.wakeup()
+
+        p = env.process(selecting(env))
+        env.process(waker(env))
+        env.run()
+        t, ready = p.value
+        assert t == pytest.approx(2.0)
+        assert ready == []  # nothing readable, just a wakeup
+
+    def test_select_with_timeout(self, rig):
+        env, cluster, stack = rig
+        selector = Selector(env)
+
+        def selecting(env):
+            ready = yield from selector.select(timeout=1.5)
+            return (env.now, ready)
+
+        p = env.process(selecting(env))
+        env.run()
+        t, ready = p.value
+        assert t == pytest.approx(1.5)
+        assert ready == []
+
+    def test_select_counts(self, rig):
+        env, cluster, stack = rig
+        selector = Selector(env)
+
+        def selecting(env):
+            yield from selector.select(timeout=0.1)
+
+        env.process(selecting(env))
+        env.run()
+        assert selector.select_calls == 1

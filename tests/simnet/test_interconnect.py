@@ -1,0 +1,136 @@
+"""Unit tests for fabric/wire cost models, including Fig-8-shaped checks."""
+
+import pytest
+
+from repro.simnet.interconnect import (
+    FABRICS,
+    IB_EDR,
+    IB_HDR,
+    OPA,
+    Fabric,
+    WireModel,
+    loopback,
+    mpi_over,
+    rdma_over,
+    tcp_over,
+)
+from repro.util.units import GiB, KiB, MiB, US, gbps
+
+
+class TestFabric:
+    def test_table3_fabrics_are_100g(self):
+        for fabric in (IB_HDR, OPA, IB_EDR):
+            assert fabric.line_rate_Bps == gbps(100)
+
+    def test_registry(self):
+        assert FABRICS["IB-HDR"] is IB_HDR
+        assert set(FABRICS) == {"IB-HDR", "Omni-Path", "IB-EDR"}
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            Fabric("bad", line_rate_Bps=0, base_latency_s=1e-6)
+
+    def test_invalid_latency_rejected(self):
+        with pytest.raises(ValueError):
+            Fabric("bad", line_rate_Bps=1e9, base_latency_s=-1)
+
+
+class TestWireModelCosts:
+    def test_one_way_time_composition(self):
+        m = WireModel(
+            name="t",
+            fabric=IB_EDR,
+            latency_s=1e-6,
+            send_overhead_s=2e-6,
+            recv_overhead_s=3e-6,
+            per_byte_s=1e-9,
+        )
+        assert m.one_way_time(1000) == pytest.approx(1e-6 + 2e-6 + 3e-6 + 1e-6)
+
+    def test_chunking_adds_per_chunk_cost(self):
+        m = WireModel(
+            name="t",
+            fabric=IB_EDR,
+            latency_s=0,
+            send_overhead_s=0,
+            recv_overhead_s=0,
+            per_byte_s=0,
+            per_chunk_s=1e-6,
+            chunk_bytes=64 * KiB,
+        )
+        assert m.n_chunks(1) == 1
+        assert m.n_chunks(64 * KiB) == 1
+        assert m.n_chunks(64 * KiB + 1) == 2
+        assert m.serialization_time(256 * KiB) == pytest.approx(4e-6)
+
+    def test_rendezvous_switch(self):
+        m = mpi_over(IB_EDR)
+        small = m.protocol_latency(1 * KiB)
+        large = m.protocol_latency(1 * MiB)
+        assert large > small
+        assert large - small == pytest.approx(m.rendezvous_extra_s)
+
+    def test_negative_field_rejected(self):
+        with pytest.raises(ValueError):
+            WireModel(
+                name="bad",
+                fabric=IB_EDR,
+                latency_s=-1,
+                send_overhead_s=0,
+                recv_overhead_s=0,
+                per_byte_s=0,
+            )
+
+    def test_scaled_override(self):
+        m = mpi_over(IB_EDR).scaled(latency_s=5e-6)
+        assert m.latency_s == 5e-6
+        assert m.fabric is IB_EDR
+
+    def test_effective_bandwidth(self):
+        m = mpi_over(IB_HDR)
+        assert m.effective_bandwidth_Bps() == pytest.approx(0.88 * gbps(100))
+
+
+class TestCalibrationShape:
+    """The analytic model must already have the paper's Fig-8 shape."""
+
+    def test_mpi_beats_tcp_at_every_size(self):
+        tcp = tcp_over(IB_EDR)
+        mpi = mpi_over(IB_EDR)
+        for size in [1, 64, 1 * KiB, 64 * KiB, 1 * MiB, 4 * MiB]:
+            assert mpi.one_way_time(size) < tcp.one_way_time(size)
+
+    def test_large_message_speedup_near_9x(self):
+        # Paper: "speedups of up to 9x for 4MB messages" (Fig 8, IB-EDR).
+        tcp = tcp_over(IB_EDR)
+        mpi = mpi_over(IB_EDR)
+        ratio = tcp.one_way_time(4 * MiB) / mpi.one_way_time(4 * MiB)
+        assert 7.0 < ratio < 11.0
+
+    def test_small_message_latency_scale(self):
+        # TCP/IPoIB small-message latency is tens of us; MPI is a few us.
+        tcp = tcp_over(IB_EDR)
+        mpi = mpi_over(IB_EDR)
+        assert 20 * US < tcp.one_way_time(64) < 100 * US
+        assert 1 * US < mpi.one_way_time(64) < 10 * US
+
+    def test_rdma_sits_between_tcp_and_mpi(self):
+        tcp, rdma, mpi = tcp_over(IB_HDR), rdma_over(IB_HDR), mpi_over(IB_HDR)
+        for size in [4 * KiB, 1 * MiB, 4 * MiB]:
+            assert mpi.one_way_time(size) < rdma.one_way_time(size) < tcp.one_way_time(size)
+
+    def test_loopback_fastest(self):
+        shm = loopback(IB_HDR)
+        mpi = mpi_over(IB_HDR)
+        assert shm.one_way_time(1 * MiB) < mpi.one_way_time(1 * MiB)
+
+    def test_tcp_charges_cpu_copies(self):
+        tcp = tcp_over(IB_HDR)
+        assert tcp.per_byte_cpu_s > 0
+        assert mpi_over(IB_HDR).per_byte_cpu_s == 0
+        assert rdma_over(IB_HDR).per_byte_cpu_s == 0
+
+    def test_tcp_effective_bandwidth_is_ipoib_like(self):
+        # ~10-15 Gb/s effective on a 100 Gb/s fabric.
+        eff = tcp_over(IB_HDR).effective_bandwidth_Bps()
+        assert gbps(8) < eff < gbps(20)

@@ -1,0 +1,303 @@
+"""Unit tests for the discrete-event kernel (events, processes, engine)."""
+
+import pytest
+
+from repro.simnet import (
+    AllOf,
+    AnyOf,
+    EmptySchedule,
+    Interrupt,
+    SimEngine,
+    SimError,
+)
+
+
+@pytest.fixture
+def env():
+    return SimEngine()
+
+
+class TestClock:
+    def test_starts_at_zero(self, env):
+        assert env.now == 0.0
+
+    def test_timeout_advances_clock(self, env):
+        done = []
+
+        def proc(env):
+            yield env.timeout(5.0)
+            done.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert done == [5.0]
+
+    def test_run_until_time(self, env):
+        ticks = []
+
+        def ticker(env):
+            while True:
+                yield env.timeout(1.0)
+                ticks.append(env.now)
+
+        env.process(ticker(env))
+        env.run(until=3.5)
+        assert ticks == [1.0, 2.0, 3.0]
+        assert env.now == 3.5
+
+    def test_run_until_past_raises(self, env):
+        env.run(until=1.0)
+        with pytest.raises(ValueError):
+            env.run(until=0.5)
+
+    def test_negative_timeout_rejected(self, env):
+        with pytest.raises(ValueError):
+            env.timeout(-1.0)
+
+    def test_step_empty_raises(self, env):
+        with pytest.raises(EmptySchedule):
+            env.step()
+
+
+class TestProcesses:
+    def test_return_value(self, env):
+        def proc(env):
+            yield env.timeout(1)
+            return 42
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == 42
+
+    def test_processes_can_join(self, env):
+        def child(env):
+            yield env.timeout(3)
+            return "child-result"
+
+        def parent(env):
+            result = yield env.process(child(env))
+            return (env.now, result)
+
+        p = env.process(parent(env))
+        env.run()
+        assert p.value == (3.0, "child-result")
+
+    def test_join_already_finished_process(self, env):
+        def child(env):
+            yield env.timeout(1)
+            return 7
+
+        c = env.process(child(env))
+
+        def parent(env):
+            yield env.timeout(10)
+            value = yield c
+            return value
+
+        p = env.process(parent(env))
+        env.run()
+        assert p.value == 7
+
+    def test_exception_propagates_to_joiner(self, env):
+        def child(env):
+            yield env.timeout(1)
+            raise ValueError("boom")
+
+        def parent(env):
+            try:
+                yield env.process(child(env))
+            except ValueError as exc:
+                return f"caught {exc}"
+
+        p = env.process(parent(env))
+        env.run()
+        assert p.value == "caught boom"
+
+    def test_unhandled_failure_raises_from_run(self, env):
+        def bad(env):
+            yield env.timeout(1)
+            raise RuntimeError("unobserved")
+
+        env.process(bad(env))
+        with pytest.raises(RuntimeError, match="unobserved"):
+            env.run()
+
+    def test_yield_non_event_fails_process(self, env):
+        def bad(env):
+            yield 42
+
+        env.process(bad(env))
+        with pytest.raises(SimError, match="non-event"):
+            env.run()
+
+    def test_two_processes_interleave_deterministically(self, env):
+        log = []
+
+        def worker(env, name, delay):
+            for _ in range(3):
+                yield env.timeout(delay)
+                log.append((env.now, name))
+
+        env.process(worker(env, "a", 2))
+        env.process(worker(env, "b", 3))
+        env.run()
+        # At t=6 both fire; "b" scheduled its timeout at t=3 (before "a" at
+        # t=4), so FIFO tie-breaking runs "b" first.
+        assert log == [
+            (2, "a"),
+            (3, "b"),
+            (4, "a"),
+            (6, "b"),
+            (6, "a"),
+            (9, "b"),
+        ]
+
+    def test_same_time_fifo_order(self, env):
+        log = []
+
+        def w(env, name):
+            yield env.timeout(1.0)
+            log.append(name)
+
+        for name in "abc":
+            env.process(w(env, name))
+        env.run()
+        assert log == ["a", "b", "c"]
+
+
+class TestInterrupt:
+    def test_interrupt_wakes_sleeper(self, env):
+        def sleeper(env):
+            try:
+                yield env.timeout(100)
+                return "slept"
+            except Interrupt as exc:
+                return f"interrupted:{exc.cause}"
+
+        def interrupter(env, victim):
+            yield env.timeout(5)
+            victim.interrupt("wakeup")
+
+        victim = env.process(sleeper(env))
+        env.process(interrupter(env, victim))
+        env.run()
+        assert victim.value == "interrupted:wakeup"
+
+    def test_interrupt_finished_process_raises(self, env):
+        def quick(env):
+            yield env.timeout(1)
+
+        p = env.process(quick(env))
+        env.run()
+        with pytest.raises(SimError):
+            p.interrupt()
+
+    def test_unhandled_interrupt_fails_process(self, env):
+        def sleeper(env):
+            yield env.timeout(100)
+
+        def interrupter(env, victim):
+            yield env.timeout(1)
+            victim.interrupt("die")
+
+        victim = env.process(sleeper(env))
+        env.process(interrupter(env, victim))
+        with pytest.raises(Interrupt):
+            env.run()
+        assert victim.triggered and not victim.ok
+
+
+class TestEvents:
+    def test_manual_event_succeed(self, env):
+        ev = env.event()
+
+        def waiter(env):
+            value = yield ev
+            return value
+
+        def firer(env):
+            yield env.timeout(2)
+            ev.succeed("fired")
+
+        w = env.process(waiter(env))
+        env.process(firer(env))
+        env.run()
+        assert w.value == "fired"
+
+    def test_double_trigger_raises(self, env):
+        ev = env.event()
+        ev.succeed(1)
+        with pytest.raises(SimError):
+            ev.succeed(2)
+
+    def test_fail_requires_exception(self, env):
+        with pytest.raises(TypeError):
+            env.event().fail("not an exception")
+
+    def test_value_before_trigger_raises(self, env):
+        with pytest.raises(SimError):
+            _ = env.event().value
+
+    def test_run_until_event_returns_value(self, env):
+        ev = env.event()
+
+        def firer(env):
+            yield env.timeout(4)
+            ev.succeed("val")
+
+        env.process(firer(env))
+        assert env.run(until=ev) == "val"
+        assert env.now == 4.0
+
+    def test_run_until_event_never_fires(self, env):
+        ev = env.event()
+
+        def nothing(env):
+            yield env.timeout(1)
+
+        env.process(nothing(env))
+        with pytest.raises(SimError, match="drained"):
+            env.run(until=ev)
+
+
+class TestConditions:
+    def test_all_of_waits_for_slowest(self, env):
+        def waiter(env):
+            t1 = env.timeout(2, value="a")
+            t2 = env.timeout(5, value="b")
+            results = yield AllOf(env, [t1, t2])
+            return (env.now, sorted(results.values()))
+
+        p = env.process(waiter(env))
+        env.run()
+        assert p.value == (5.0, ["a", "b"])
+
+    def test_any_of_returns_on_first(self, env):
+        def waiter(env):
+            t1 = env.timeout(2, value="fast")
+            t2 = env.timeout(5, value="slow")
+            results = yield AnyOf(env, [t1, t2])
+            return (env.now, list(results.values()))
+
+        p = env.process(waiter(env))
+        env.run()
+        assert p.value == (2.0, ["fast"])
+
+    def test_empty_all_of_triggers_immediately(self, env):
+        def waiter(env):
+            yield AllOf(env, [])
+            return env.now
+
+        p = env.process(waiter(env))
+        env.run()
+        assert p.value == 0.0
+
+    def test_helper_methods(self, env):
+        def waiter(env):
+            yield env.all_of([env.timeout(1), env.timeout(2)])
+            yield env.any_of([env.timeout(10), env.timeout(1)])
+            return env.now
+
+        p = env.process(waiter(env))
+        env.run()
+        assert p.value == 3.0

@@ -1,0 +1,233 @@
+"""Unit tests for Store and Resource primitives."""
+
+import pytest
+
+from repro.simnet import SimEngine, Store
+from repro.simnet.resources import Resource, StoreCancelled
+
+
+@pytest.fixture
+def env():
+    return SimEngine()
+
+
+class TestStore:
+    def test_put_then_get(self, env):
+        store = Store(env)
+
+        def consumer(env):
+            item = yield store.get()
+            return item
+
+        store.put("x")
+        p = env.process(consumer(env))
+        env.run()
+        assert p.value == "x"
+
+    def test_get_blocks_until_put(self, env):
+        store = Store(env)
+
+        def consumer(env):
+            item = yield store.get()
+            return (env.now, item)
+
+        def producer(env):
+            yield env.timeout(3)
+            store.put("late")
+
+        c = env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert c.value == (3.0, "late")
+
+    def test_fifo_order(self, env):
+        store = Store(env)
+        for i in range(5):
+            store.put(i)
+        got = []
+
+        def consumer(env):
+            for _ in range(5):
+                item = yield store.get()
+                got.append(item)
+
+        env.process(consumer(env))
+        env.run()
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_filtered_get_skips_nonmatching(self, env):
+        store = Store(env)
+        store.put(("tag", 1))
+        store.put(("other", 2))
+
+        def consumer(env):
+            item = yield store.get(lambda m: m[0] == "other")
+            return item
+
+        p = env.process(consumer(env))
+        env.run()
+        assert p.value == ("other", 2)
+        assert store.peek() == ("tag", 1)  # unmatched item stays queued
+
+    def test_filtered_get_waits_for_match(self, env):
+        store = Store(env)
+        store.put("no")
+
+        def consumer(env):
+            item = yield store.get(lambda m: m == "yes")
+            return (env.now, item)
+
+        def producer(env):
+            yield env.timeout(2)
+            store.put("yes")
+
+        c = env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert c.value == (2.0, "yes")
+
+    def test_capacity_blocks_putter(self, env):
+        store = Store(env, capacity=1)
+        log = []
+
+        def producer(env):
+            yield store.put("a")
+            log.append(("put-a", env.now))
+            yield store.put("b")
+            log.append(("put-b", env.now))
+
+        def consumer(env):
+            yield env.timeout(5)
+            item = yield store.get()
+            log.append((f"got-{item}", env.now))
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert ("put-a", 0.0) in log
+        assert ("put-b", 5.0) in log
+
+    def test_cancel_pending_get(self, env):
+        store = Store(env)
+
+        def consumer(env):
+            req = store.get()
+            yield env.timeout(1)
+            req.cancel()
+            try:
+                yield req
+            except StoreCancelled:
+                return "cancelled"
+
+        p = env.process(consumer(env))
+        env.run()
+        assert p.value == "cancelled"
+
+    def test_peek_with_filter(self, env):
+        store = Store(env)
+        store.put(1)
+        store.put(2)
+        assert store.peek(lambda x: x > 1) == 2
+        assert store.peek(lambda x: x > 5) is None
+        assert len(store) == 2
+
+    def test_invalid_capacity(self, env):
+        with pytest.raises(ValueError):
+            Store(env, capacity=0)
+
+
+class TestResource:
+    def test_capacity_limits_concurrency(self, env):
+        res = Resource(env, capacity=2)
+        active = []
+        peak = []
+
+        def worker(env, i):
+            req = res.request()
+            yield req
+            active.append(i)
+            peak.append(len(active))
+            try:
+                yield env.timeout(10)
+            finally:
+                active.remove(i)
+                res.release(req)
+
+        for i in range(5):
+            env.process(worker(env, i))
+        env.run()
+        assert max(peak) == 2
+
+    def test_fifo_grant_order(self, env):
+        res = Resource(env, capacity=1)
+        order = []
+
+        def worker(env, i):
+            req = res.request()
+            yield req
+            order.append(i)
+            yield env.timeout(1)
+            res.release(req)
+
+        for i in range(4):
+            env.process(worker(env, i))
+        env.run()
+        assert order == [0, 1, 2, 3]
+
+    def test_serialization_time(self, env):
+        res = Resource(env, capacity=1)
+        finish = {}
+
+        def worker(env, i):
+            req = res.request()
+            yield req
+            yield env.timeout(5)
+            res.release(req)
+            finish[i] = env.now
+
+        for i in range(3):
+            env.process(worker(env, i))
+        env.run()
+        assert finish == {0: 5.0, 1: 10.0, 2: 15.0}
+
+    def test_release_unknown_raises(self, env):
+        res = Resource(env, capacity=1)
+        other = Resource(env, capacity=1)
+        req = other.request()
+        with pytest.raises(Exception):
+            res.release(req)
+
+    def test_release_queued_request_cancels(self, env):
+        res = Resource(env, capacity=1)
+        held = res.request()
+        assert held.triggered
+        queued = res.request()
+        assert not queued.triggered
+        res.release(queued)  # withdraw from queue
+        res.release(held)
+        assert res.count == 0
+
+    def test_count_property(self, env):
+        res = Resource(env, capacity=3)
+        reqs = [res.request() for _ in range(2)]
+        assert res.count == 2
+        for r in reqs:
+            res.release(r)
+        assert res.count == 0
+
+    def test_invalid_capacity(self, env):
+        with pytest.raises(ValueError):
+            Resource(env, capacity=0)
+
+    def test_acquire_helper(self, env):
+        res = Resource(env, capacity=1)
+
+        def worker(env):
+            req = yield from res.acquire()
+            yield env.timeout(1)
+            res.release(req)
+            return env.now
+
+        p = env.process(worker(env))
+        env.run()
+        assert p.value == 1.0

@@ -1,0 +1,128 @@
+"""Integration tests for the simulated Spark cluster deployment."""
+
+import numpy as np
+import pytest
+
+from repro.harness.profile import (
+    ComputeStage,
+    ShuffleReadStage,
+    ShuffleWriteStage,
+    WorkloadProfile,
+)
+from repro.harness.systems import FRONTERA, INTERNAL_CLUSTER
+from repro.spark.deploy import SparkSimCluster
+from repro.util.units import GiB, MiB
+
+
+def tiny_profile(n_exec, cores=4, shuffle_bytes=64 * MiB):
+    n_tasks = n_exec * cores
+    fetch = np.full((n_tasks, n_exec), shuffle_bytes / (n_tasks * n_exec))
+    blocks = np.ones((n_tasks, n_exec), dtype=np.int64)
+    return WorkloadProfile(
+        name="tiny",
+        nominal_bytes=shuffle_bytes,
+        n_executors=n_exec,
+        cores_per_executor=cores,
+        stages=[
+            ComputeStage("gen", np.full(n_tasks, 0.01)),
+            ShuffleWriteStage(
+                "write", np.full(n_tasks, 0.005), np.full(n_tasks, shuffle_bytes / n_tasks)
+            ),
+            ShuffleReadStage("read", fetch, blocks, np.full(n_tasks, 0.002)),
+        ],
+    )
+
+
+class TestClusterBringUp:
+    @pytest.mark.parametrize("transport", ["nio", "rdma", "mpi-opt", "mpi-basic"])
+    def test_launch_all_transports(self, transport):
+        sim = SparkSimCluster(INTERNAL_CLUSTER, 2, transport, cores_per_executor=4)
+        sim.launch()
+        assert len(sim.executors) == 2
+        if sim.transport.uses_mpi:
+            assert all(ex.endpoint is not None for ex in sim.executors)
+            # Executors are DPM children with a parent intercomm (Fig 3).
+            for ex in sim.executors:
+                assert ex.endpoint.proc.comm_world.name == "DPM_COMM"
+                assert ex.endpoint.proc.parent_comm is not None
+        sim.shutdown()
+
+    def test_double_launch_rejected(self):
+        sim = SparkSimCluster(INTERNAL_CLUSTER, 2, "nio", cores_per_executor=2)
+        sim.launch()
+        with pytest.raises(RuntimeError):
+            sim.launch()
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            SparkSimCluster(FRONTERA, 0, "nio")
+
+    def test_executor_placement_one_per_worker_node(self):
+        sim = SparkSimCluster(FRONTERA, 3, "nio", cores_per_executor=4)
+        sim.launch()
+        assert [ex.node.index for ex in sim.executors] == [0, 1, 2]
+
+
+class TestProfileExecution:
+    @pytest.mark.parametrize("transport", ["nio", "rdma", "mpi-opt", "mpi-basic"])
+    def test_runs_all_stages(self, transport):
+        sim = SparkSimCluster(INTERNAL_CLUSTER, 2, transport, cores_per_executor=4)
+        sim.launch()
+        result = sim.run_profile(tiny_profile(2))
+        assert set(result.stage_seconds) == {"gen", "write", "read"}
+        assert all(v > 0 for v in result.stage_seconds.values())
+        assert result.transport == sim.transport.name
+        sim.shutdown()
+
+    def test_wrong_executor_count_rejected(self):
+        sim = SparkSimCluster(INTERNAL_CLUSTER, 2, "nio", cores_per_executor=4)
+        sim.launch()
+        with pytest.raises(ValueError, match="built for"):
+            sim.run_profile(tiny_profile(4))
+
+    def test_shuffle_bytes_actually_move(self):
+        sim = SparkSimCluster(INTERNAL_CLUSTER, 2, "nio", cores_per_executor=4)
+        sim.launch()
+        profile = tiny_profile(2, shuffle_bytes=64 * MiB)
+        sim.run_profile(profile)
+        remote = sum(ex.bytes_fetched_remote for ex in sim.executors)
+        # Half the fetch matrix is remote (2 executors).
+        assert remote == pytest.approx(32 * MiB, rel=0.05)
+        local = sum(ex.bytes_read_local for ex in sim.executors)
+        assert local == pytest.approx(32 * MiB, rel=0.05)
+
+    def test_transport_ordering_on_shuffle(self):
+        times = {}
+        for transport in ("nio", "rdma", "mpi-opt"):
+            sim = SparkSimCluster(INTERNAL_CLUSTER, 2, transport, cores_per_executor=4)
+            sim.launch()
+            result = sim.run_profile(tiny_profile(2, shuffle_bytes=512 * MiB))
+            times[transport] = result.stage_seconds["read"]
+            sim.shutdown()
+        assert times["mpi-opt"] < times["rdma"] < times["nio"]
+
+    def test_mpi_basic_polling_tax_reduces_slots(self):
+        sim = SparkSimCluster(INTERNAL_CLUSTER, 2, "mpi-basic", cores_per_executor=8)
+        sim.launch()
+        opt = SparkSimCluster(INTERNAL_CLUSTER, 2, "mpi-opt", cores_per_executor=8)
+        opt.launch()
+        assert (
+            sim.executors[0].slots.capacity < opt.executors[0].slots.capacity
+        )
+
+    def test_deterministic_given_same_inputs(self):
+        def run():
+            sim = SparkSimCluster(INTERNAL_CLUSTER, 2, "mpi-opt", cores_per_executor=4)
+            sim.launch()
+            return sim.run_profile(tiny_profile(2)).stage_seconds
+
+        assert run() == run()
+
+    def test_run_result_helpers(self):
+        sim = SparkSimCluster(INTERNAL_CLUSTER, 2, "nio", cores_per_executor=4)
+        sim.launch()
+        result = sim.run_profile(tiny_profile(2))
+        assert result.total_seconds == pytest.approx(
+            sum(result.stage_seconds.values())
+        )
+        assert result.shuffle_read_seconds() == result.stage_seconds["read"]

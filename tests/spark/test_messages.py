@@ -1,0 +1,123 @@
+"""Codec tests for the Table II message types."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.spark.messages import (
+    MESSAGE_TYPES,
+    MPI_OPTIMIZED_BODY_TYPES,
+    ChunkFetchFailure,
+    ChunkFetchRequest,
+    ChunkFetchSuccess,
+    OneWayMessage,
+    RpcFailure,
+    RpcRequest,
+    RpcResponse,
+    StreamChunkId,
+    StreamFailure,
+    StreamRequest,
+    StreamResponse,
+    decode_message,
+    encode_message,
+    peek_message_type,
+)
+
+
+def roundtrip(msg):
+    return decode_message(encode_message(msg))
+
+
+class TestRoundTrips:
+    def test_chunk_fetch_request(self):
+        msg = ChunkFetchRequest(StreamChunkId(42, 7), num_blocks=12)
+        got = roundtrip(msg)
+        assert got == msg
+
+    def test_chunk_fetch_success_with_body(self):
+        msg = ChunkFetchSuccess(
+            StreamChunkId(1, 2), chunk={"block": "meta"}, chunk_nbytes=4096, num_blocks=3
+        )
+        got = roundtrip(msg)
+        assert got.stream_chunk_id == msg.stream_chunk_id
+        assert got.chunk == {"block": "meta"}
+        assert got.chunk_nbytes == 4096
+        assert got.num_blocks == 3
+
+    def test_chunk_fetch_failure(self):
+        got = roundtrip(ChunkFetchFailure(StreamChunkId(9, 0), "block missing"))
+        assert got.error == "block missing"
+
+    def test_rpc_request_response(self):
+        req = roundtrip(RpcRequest(77, payload=("open", [1, 2]), payload_nbytes=64))
+        assert req.request_id == 77 and req.payload == ("open", [1, 2])
+        resp = roundtrip(RpcResponse(77, payload="ok", payload_nbytes=2))
+        assert resp.request_id == 77 and resp.payload == "ok"
+
+    def test_rpc_failure(self):
+        got = roundtrip(RpcFailure(5, "no such endpoint"))
+        assert (got.request_id, got.error) == (5, "no such endpoint")
+
+    def test_stream_request_response(self):
+        got = roundtrip(StreamRequest("jars/app.jar"))
+        assert got.stream_id == "jars/app.jar"
+        resp = roundtrip(StreamResponse("jars/app.jar", 10_000, data=b"sample"))
+        assert resp.byte_count == 10_000
+        assert resp.data == b"sample"
+
+    def test_stream_failure(self):
+        got = roundtrip(StreamFailure("x", "denied"))
+        assert got.error == "denied"
+
+    def test_one_way(self):
+        got = roundtrip(OneWayMessage(payload={"hb": 1}, payload_nbytes=10))
+        assert got.payload == {"hb": 1}
+
+
+class TestFrameProperties:
+    def test_type_tags_unique_and_spark_like(self):
+        assert len(MESSAGE_TYPES) == 10
+        assert ChunkFetchRequest.type_tag == 0
+        assert ChunkFetchSuccess.type_tag == 1
+        assert RpcRequest.type_tag == 3
+        assert OneWayMessage.type_tag == 9
+
+    def test_body_rides_outside_header(self):
+        msg = ChunkFetchSuccess(StreamChunkId(1, 1), chunk=b"x", chunk_nbytes=1 << 20)
+        frame = encode_message(msg)
+        assert len(frame.header) < 64
+        assert frame.body_nbytes == 1 << 20
+        assert frame.nbytes == len(frame.header) + (1 << 20)
+
+    def test_peek_message_type(self):
+        frame = encode_message(
+            ChunkFetchSuccess(StreamChunkId(1, 1), chunk=b"", chunk_nbytes=500)
+        )
+        tag, body = peek_message_type(frame)
+        assert tag == ChunkFetchSuccess.type_tag
+        assert body == 500
+
+    def test_optimized_body_types_are_the_papers_two(self):
+        # Sec. VI-E: only ChunkFetchSuccess and StreamResponse go over MPI.
+        assert ChunkFetchSuccess.type_tag in MPI_OPTIMIZED_BODY_TYPES
+        assert StreamResponse.type_tag in MPI_OPTIMIZED_BODY_TYPES
+        assert len(MPI_OPTIMIZED_BODY_TYPES) == 2
+
+    def test_request_response_classification(self):
+        assert ChunkFetchRequest.is_request and not ChunkFetchSuccess.is_request
+        assert RpcRequest.is_request and not RpcResponse.is_request
+        assert StreamRequest.is_request and not StreamResponse.is_request
+        assert OneWayMessage.is_request
+
+    @given(st.integers(0, 2**62), st.integers(0, 2**31 - 1), st.integers(1, 10**6))
+    def test_chunk_roundtrip_property(self, stream_id, chunk_index, nbytes):
+        msg = ChunkFetchSuccess(
+            StreamChunkId(stream_id, chunk_index), chunk=None, chunk_nbytes=0
+        )
+        got = roundtrip(msg)
+        assert got.stream_chunk_id == msg.stream_chunk_id
+
+    @given(st.text(max_size=100), st.integers(0, 2**50))
+    def test_stream_response_property(self, sid, count):
+        got = roundtrip(StreamResponse(sid, count, data=None))
+        assert got.stream_id == sid and got.byte_count == count

@@ -1,0 +1,282 @@
+"""RDD operator correctness on the local backend."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spark import SparkConf, SparkContext
+
+
+@pytest.fixture
+def sc():
+    return SparkContext(SparkConf({"spark.default.parallelism": "4"}))
+
+
+class TestCreation:
+    def test_parallelize_collect(self, sc):
+        assert sc.parallelize([3, 1, 2], 2).collect() == [3, 1, 2]
+
+    def test_range(self, sc):
+        assert sc.range(10, 3).collect() == list(range(10))
+
+    def test_generated(self, sc):
+        rdd = sc.generated(3, lambda split: [split] * 2)
+        assert rdd.collect() == [0, 0, 1, 1, 2, 2]
+
+    def test_partition_count_clamped(self, sc):
+        rdd = sc.parallelize([1], 100)
+        assert rdd.num_partitions == 1
+
+    def test_empty_partitions_allowed(self, sc):
+        assert sc.parallelize([], 1).collect() == []
+
+
+class TestNarrowOps:
+    def test_map(self, sc):
+        assert sc.parallelize([1, 2, 3]).map(lambda x: x * 10).collect() == [10, 20, 30]
+
+    def test_filter(self, sc):
+        assert sc.range(10).filter(lambda x: x % 2 == 0).collect() == [0, 2, 4, 6, 8]
+
+    def test_flat_map(self, sc):
+        rdd = sc.parallelize(["a b", "c"]).flat_map(str.split)
+        assert rdd.collect() == ["a", "b", "c"]
+
+    def test_map_values(self, sc):
+        rdd = sc.parallelize([("a", 1), ("b", 2)]).map_values(lambda v: v + 1)
+        assert rdd.collect() == [("a", 2), ("b", 3)]
+
+    def test_flat_map_values(self, sc):
+        rdd = sc.parallelize([("a", 2)]).flat_map_values(lambda v: range(v))
+        assert rdd.collect() == [("a", 0), ("a", 1)]
+
+    def test_key_by(self, sc):
+        assert sc.parallelize([5, 6]).key_by(lambda x: x % 2).collect() == [(1, 5), (0, 6)]
+
+    def test_glom_preserves_partitioning(self, sc):
+        rdd = sc.parallelize(list(range(6)), 3).glom()
+        assert rdd.collect() == [[0, 1], [2, 3], [4, 5]]
+
+    def test_union(self, sc):
+        a = sc.parallelize([1, 2], 2)
+        b = sc.parallelize([3], 1)
+        u = a.union(b)
+        assert u.num_partitions == 3
+        assert u.collect() == [1, 2, 3]
+
+    def test_sample_fraction_bounds(self, sc):
+        with pytest.raises(ValueError):
+            sc.range(10).sample(1.5)
+
+    def test_coalesce(self, sc):
+        rdd = sc.parallelize(list(range(8)), 4).coalesce(2)
+        assert rdd.num_partitions == 2
+        assert rdd.collect() == list(range(8))
+
+    def test_pipelined_chain(self, sc):
+        result = (
+            sc.range(100)
+            .map(lambda x: x + 1)
+            .filter(lambda x: x % 3 == 0)
+            .map(lambda x: x * 2)
+            .collect()
+        )
+        assert result == [2 * x for x in range(1, 101) if x % 3 == 0]
+
+
+class TestWideOps:
+    def test_group_by_key(self, sc):
+        rdd = sc.parallelize([("a", 1), ("b", 2), ("a", 3)], 2).group_by_key(3)
+        result = dict(rdd.collect())
+        assert sorted(result["a"]) == [1, 3]
+        assert result["b"] == [2]
+
+    def test_reduce_by_key(self, sc):
+        rdd = sc.parallelize([("x", 1)] * 10 + [("y", 2)] * 5, 3)
+        assert dict(rdd.reduce_by_key(lambda a, b: a + b).collect()) == {"x": 10, "y": 10}
+
+    def test_aggregate_by_key(self, sc):
+        rdd = sc.parallelize([("k", i) for i in range(5)], 2)
+        result = rdd.aggregate_by_key(0, lambda acc, v: acc + v, lambda a, b: a + b)
+        assert dict(result.collect()) == {"k": 10}
+
+    def test_sort_by_key(self, sc):
+        data = [(k, None) for k in [5, 3, 8, 1, 9, 2, 7]]
+        rdd = sc.parallelize(data, 3).sort_by_key(num_partitions=2)
+        assert [k for k, _ in rdd.collect()] == [1, 2, 3, 5, 7, 8, 9]
+
+    def test_sort_by_key_descending(self, sc):
+        data = [(k, None) for k in [5, 3, 8]]
+        rdd = sc.parallelize(data, 2).sort_by_key(ascending=False, num_partitions=2)
+        assert [k for k, _ in rdd.collect()] == [8, 5, 3]
+
+    def test_sort_by(self, sc):
+        rdd = sc.parallelize([3, 1, 2], 2).sort_by(lambda x: x, num_partitions=2)
+        assert rdd.collect() == [1, 2, 3]
+
+    def test_distinct(self, sc):
+        assert sorted(sc.parallelize([1, 2, 2, 3, 3, 3], 3).distinct().collect()) == [1, 2, 3]
+
+    def test_repartition(self, sc):
+        rdd = sc.parallelize(list(range(10)), 2).repartition(5)
+        assert rdd.num_partitions == 5
+        assert sorted(rdd.collect()) == list(range(10))
+
+    def test_partition_by_places_keys(self, sc):
+        from repro.spark import HashPartitioner
+
+        rdd = sc.parallelize([(i, i) for i in range(20)], 4).partition_by(
+            HashPartitioner(5)
+        )
+        parts = rdd.glom().collect()
+        assert len(parts) == 5
+        for pid, part in enumerate(parts):
+            for k, _ in part:
+                assert hash(k) % 5 == pid
+
+    def test_partition_by_is_noop_when_copartitioned(self, sc):
+        from repro.spark import HashPartitioner
+
+        p = HashPartitioner(3)
+        rdd = sc.parallelize([(1, 1)], 1).partition_by(p)
+        assert rdd.partition_by(HashPartitioner(3)) is rdd
+
+    def test_join(self, sc):
+        a = sc.parallelize([("k", 1), ("k", 2), ("q", 9)], 2)
+        b = sc.parallelize([("k", "x"), ("z", "y")], 2)
+        result = sorted(a.join(b).collect())
+        assert result == [("k", (1, "x")), ("k", (2, "x"))]
+
+    def test_left_outer_join(self, sc):
+        a = sc.parallelize([("k", 1), ("q", 2)], 2)
+        b = sc.parallelize([("k", "x")], 1)
+        result = dict(a.left_outer_join(b).collect())
+        assert result == {"k": (1, "x"), "q": (2, None)}
+
+    def test_cogroup(self, sc):
+        a = sc.parallelize([("k", 1), ("k", 2)], 2)
+        b = sc.parallelize([("k", "x"), ("m", "y")], 2)
+        result = dict(a.cogroup(b).collect())
+        assert sorted(result["k"][0]) == [1, 2]
+        assert result["k"][1] == ["x"]
+        assert result["m"] == ([], ["y"])
+
+    def test_count_by_key(self, sc):
+        rdd = sc.parallelize([("a", 0)] * 3 + [("b", 0)] * 2, 2)
+        assert rdd.count_by_key() == {"a": 3, "b": 2}
+
+
+class TestActions:
+    def test_count(self, sc):
+        assert sc.range(1000, 7).count() == 1000
+
+    def test_reduce(self, sc):
+        assert sc.range(101).reduce(lambda a, b: a + b) == 5050
+
+    def test_reduce_empty_raises(self, sc):
+        with pytest.raises(ValueError):
+            sc.parallelize([], 1).reduce(lambda a, b: a + b)
+
+    def test_fold_and_sum(self, sc):
+        assert sc.range(5).fold(0, lambda a, b: a + b) == 10
+        assert sc.range(5).sum() == 10
+
+    def test_max_min(self, sc):
+        rdd = sc.parallelize([5, -2, 9, 3], 2)
+        assert rdd.max() == 9
+        assert rdd.min() == -2
+
+    def test_first_and_take(self, sc):
+        rdd = sc.range(10, 4)
+        assert rdd.first() == 0
+        assert rdd.take(3) == [0, 1, 2]
+        assert rdd.take(100) == list(range(10))
+
+    def test_first_empty_raises(self, sc):
+        with pytest.raises(ValueError):
+            sc.parallelize([], 1).first()
+
+    def test_foreach(self, sc):
+        seen = []
+        sc.parallelize([1, 2, 3], 2).foreach(seen.append)
+        assert sorted(seen) == [1, 2, 3]
+
+
+class TestCaching:
+    def test_cache_avoids_recompute(self, sc):
+        computations = []
+
+        def track(x):
+            computations.append(x)
+            return x
+
+        rdd = sc.range(4, 2).map(track).cache()
+        rdd.collect()
+        rdd.collect()
+        assert len(computations) == 4  # second collect served from cache
+
+    def test_uncached_recomputes(self, sc):
+        computations = []
+        rdd = sc.range(4, 2).map(lambda x: computations.append(x) or x)
+        rdd.collect()
+        rdd.collect()
+        assert len(computations) == 8
+
+
+class TestStoppedContext:
+    def test_run_after_stop_raises(self, sc):
+        sc.stop()
+        with pytest.raises(RuntimeError):
+            sc.range(3).collect()
+
+    def test_context_manager(self):
+        with SparkContext() as sc:
+            assert sc.range(3).count() == 3
+
+
+class TestProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.integers(-100, 100), max_size=60),
+        st.integers(1, 6),
+    )
+    def test_collect_preserves_order(self, data, parts):
+        sc = SparkContext()
+        assert sc.parallelize(data, parts).collect() == data
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.tuples(st.integers(0, 10), st.integers()), max_size=60),
+        st.integers(1, 5),
+    )
+    def test_reduce_by_key_matches_dict(self, pairs, parts):
+        sc = SparkContext()
+        got = dict(
+            sc.parallelize(pairs, parts).reduce_by_key(lambda a, b: a + b).collect()
+        )
+        expected = {}
+        for k, v in pairs:
+            expected[k] = expected.get(k, 0) + v
+        assert got == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=80), st.integers(1, 5))
+    def test_sort_by_key_sorts(self, keys, parts):
+        sc = SparkContext()
+        rdd = sc.parallelize([(k, None) for k in keys], parts).sort_by_key(
+            num_partitions=3
+        )
+        assert [k for k, _ in rdd.collect()] == sorted(keys)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 50), max_size=60))
+    def test_distinct_matches_set(self, data):
+        sc = SparkContext()
+        assert sorted(sc.parallelize(data, 3).distinct().collect()) == sorted(set(data))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(), max_size=40), st.integers(1, 8))
+    def test_repartition_preserves_multiset(self, data, n):
+        sc = SparkContext()
+        got = sc.parallelize(data, 2).repartition(n).collect()
+        assert sorted(got) == sorted(data)

@@ -1,0 +1,128 @@
+"""Standalone-mode control plane: registration, heartbeats, allocation."""
+
+import pytest
+
+from repro.netty.eventloop import EventLoop
+from repro.simnet import IB_HDR, SimCluster, SimEngine, tcp_over
+from repro.simnet.sockets import SocketAddress, SocketStack
+from repro.spark.network import TransportContext
+from repro.spark.standalone import (
+    MASTER_PORT,
+    WORKER_TIMEOUT_S,
+    StandaloneMaster,
+    StandaloneWorker,
+)
+from repro.util.units import GiB
+
+
+@pytest.fixture
+def rig():
+    env = SimEngine()
+    cluster = SimCluster(env, IB_HDR, n_nodes=4, cores_per_node=8)
+    stack = SocketStack(env, cluster, tcp_over(IB_HDR))
+    master = StandaloneMaster(env, stack, cluster.node(3))
+    master.start()
+    return env, cluster, stack, master
+
+
+def start_worker(env, cluster, stack, node_idx, worker_id, cores=8, beats=2):
+    loop = EventLoop(env, f"{worker_id}-loop")
+    loop.start()
+    context = TransportContext(stack)
+    worker = StandaloneWorker(
+        env, context, loop, cluster.node(node_idx), worker_id, cores, 128 * GiB
+    )
+    proc = env.process(
+        worker.register_and_heartbeat(SocketAddress("node3", MASTER_PORT), beats)
+    )
+    return worker, proc, loop
+
+
+class TestRegistration:
+    def test_worker_registers_over_rpc(self, rig):
+        env, cluster, stack, master = rig
+        worker, proc, loop = start_worker(env, cluster, stack, 0, "w0", beats=0)
+        env.run(until=env.now + 5)
+        assert worker.registered
+        assert "w0" in master.workers
+        assert master.workers["w0"].cores == 8
+        assert proc.value == master.master_url
+        loop.stop()
+        master.stop()
+
+    def test_multiple_workers(self, rig):
+        env, cluster, stack, master = rig
+        loops = []
+        for i in range(3):
+            _, _, loop = start_worker(env, cluster, stack, i, f"w{i}", beats=0)
+            loops.append(loop)
+        env.run(until=env.now + 5)
+        assert set(master.workers) == {"w0", "w1", "w2"}
+        for loop in loops:
+            loop.stop()
+        master.stop()
+
+    def test_heartbeats_tracked(self, rig):
+        env, cluster, stack, master = rig
+        worker, proc, loop = start_worker(env, cluster, stack, 0, "w0", beats=3)
+        env.run(until=env.now + 60)
+        assert worker._beats == 3
+        assert master.workers["w0"].last_heartbeat > 0
+        loop.stop()
+        master.stop()
+
+    def test_timeout_marks_worker_dead(self, rig):
+        env, cluster, stack, master = rig
+        worker, proc, loop = start_worker(env, cluster, stack, 0, "w0", beats=0)
+        env.run(until=env.now + 5)
+        # No heartbeats: advance past the timeout and sweep.
+        env.run(until=env.now + WORKER_TIMEOUT_S + 1)
+        dead = master.check_timeouts()
+        assert dead == ["w0"]
+        assert not master.workers["w0"].alive
+        loop.stop()
+        master.stop()
+
+
+class TestExecutorAllocation:
+    def _register(self, master, n, cores=8):
+        for i in range(n):
+            master.register_worker(f"w{i}", f"node{i}", cores, 128 * GiB)
+
+    def test_spread_out_allocation(self, rig):
+        env, cluster, stack, master = rig
+        self._register(master, 3, cores=8)
+        app = master.register_application("job", cores_wanted=12)
+        per_worker = {wid: c for _, wid, c in app.executors}
+        assert sum(per_worker.values()) == 12
+        assert max(per_worker.values()) == 4
+        assert len(per_worker) == 3  # spread across all workers
+
+    def test_allocation_capped_by_capacity(self, rig):
+        env, cluster, stack, master = rig
+        self._register(master, 2, cores=4)
+        app = master.register_application("big", cores_wanted=100)
+        assert sum(c for _, _, c in app.executors) == 8
+
+    def test_dead_workers_excluded(self, rig):
+        env, cluster, stack, master = rig
+        self._register(master, 2, cores=4)
+        master.workers["w0"].alive = False
+        master.workers["w0"].cores_free = 0
+        app = master.register_application("job", cores_wanted=8)
+        assert {wid for _, wid, _ in app.executors} == {"w1"}
+
+    def test_sequential_apps_share_cluster(self, rig):
+        env, cluster, stack, master = rig
+        self._register(master, 2, cores=8)
+        a = master.register_application("a", cores_wanted=8)
+        b = master.register_application("b", cores_wanted=8)
+        assert sum(c for _, _, c in a.executors) == 8
+        assert sum(c for _, _, c in b.executors) == 8
+        assert all(w.cores_free == 0 for w in master.workers.values())
+
+    def test_app_ids_unique(self, rig):
+        env, cluster, stack, master = rig
+        self._register(master, 1)
+        ids = {master.register_application(f"x{i}", 1).app_id for i in range(5)}
+        assert len(ids) == 5

@@ -1,0 +1,34 @@
+"""Smoke tests: every shipped example runs end-to-end."""
+
+import runpy
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = ["quickstart.py", "mpi4spark_launch.py", "hibench_ml.py"]
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_example_runs(name, capsys):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip()  # produced output
+
+
+def test_quickstart_output_correct(capsys):
+    runpy.run_path(str(EXAMPLES / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "'meets': 3" in out
+    assert "sorted: [(1, 'a'), (3, 'c'), (7, 'g'), (9, 'i')]" in out
+
+
+def test_launch_example_shows_fig3_steps(capsys):
+    runpy.run_path(str(EXAMPLES / "mpi4spark_launch.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "Step A/B" in out
+    assert "MPI_Comm_spawn_multiple" in out
+    assert "DPM_COMM allgather" in out

@@ -1,0 +1,68 @@
+"""Unit + property tests for repro.util.serialization."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.serialization import SizedPayload, sizeof
+
+
+class TestSizeof:
+    def test_primitives_flat(self):
+        assert sizeof(7) == 8
+        assert sizeof(3.14) == 8
+        assert sizeof(True) == 1
+        assert sizeof(None) == 1
+
+    def test_bytes_exact(self):
+        assert sizeof(b"x" * 100) == 100
+        assert sizeof(bytearray(32)) == 32
+
+    def test_str_utf8(self):
+        assert sizeof("abc") == 3
+        assert sizeof("é") == 2
+
+    def test_containers_sum_members(self):
+        assert sizeof((1, 2.0)) == 8 + 8 + 8
+        assert sizeof([b"ab", b"cd"]) == 8 + 4
+        assert sizeof({"k": 1}) == 16 + 1 + 8
+
+    def test_numpy_uses_nbytes(self):
+        arr = np.zeros(1000, dtype=np.float64)
+        assert sizeof(arr) == 8000
+
+    def test_sized_payload_wins(self):
+        payload = SizedPayload(data=b"tiny", nbytes=4 * 1024 * 1024)
+        assert sizeof(payload) == 4 * 1024 * 1024
+
+    def test_opaque_object_has_token_cost(self):
+        class Weird:
+            def __reduce__(self):
+                raise TypeError("nope")
+
+        assert sizeof(Weird()) == 64
+
+    @given(st.lists(st.integers(), max_size=50))
+    def test_list_size_monotone_in_length(self, xs):
+        assert sizeof(xs + [0]) > sizeof(xs)
+
+
+class TestSizedPayload:
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SizedPayload(b"", -1)
+
+    def test_scaled(self):
+        p = SizedPayload(b"x", 100).scaled(2.5)
+        assert p.nbytes == 250
+        assert p.data == b"x"
+
+    def test_scaled_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SizedPayload(b"x", 100).scaled(-1)
+
+    @given(st.integers(0, 10**12), st.floats(0, 100))
+    def test_scaling_property(self, nbytes, factor):
+        p = SizedPayload(None, nbytes).scaled(factor)
+        assert p.nbytes == int(nbytes * factor)

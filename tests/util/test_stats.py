@@ -1,0 +1,107 @@
+"""Unit + property tests for repro.util.stats."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.stats import OnlineStats, percentile, summarize
+
+
+class TestOnlineStats:
+    def test_empty(self):
+        s = OnlineStats()
+        assert s.n == 0
+        assert s.mean == 0.0
+        assert s.variance == 0.0
+
+    def test_known_values(self):
+        s = OnlineStats()
+        s.extend([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert s.n == 8
+        assert s.mean == pytest.approx(5.0)
+        assert s.stdev == pytest.approx(2.138, abs=1e-3)
+        assert s.min == 2.0 and s.max == 9.0
+        assert s.total == 40.0
+
+    def test_merge_matches_combined(self):
+        a, b, combined = OnlineStats(), OnlineStats(), OnlineStats()
+        xs, ys = [1.0, 2.0, 3.0], [10.0, 20.0]
+        a.extend(xs)
+        b.extend(ys)
+        combined.extend(xs + ys)
+        a.merge(b)
+        assert a.n == combined.n
+        assert a.mean == pytest.approx(combined.mean)
+        assert a.variance == pytest.approx(combined.variance)
+        assert a.min == combined.min and a.max == combined.max
+
+    def test_merge_into_empty(self):
+        a, b = OnlineStats(), OnlineStats()
+        b.extend([5.0, 7.0])
+        a.merge(b)
+        assert a.n == 2 and a.mean == 6.0
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=200))
+    def test_matches_naive_mean(self, xs):
+        s = OnlineStats()
+        s.extend(xs)
+        assert s.mean == pytest.approx(sum(xs) / len(xs), rel=1e-9, abs=1e-6)
+
+    @given(
+        st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50),
+        st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50),
+    )
+    def test_merge_property(self, xs, ys):
+        a, b, c = OnlineStats(), OnlineStats(), OnlineStats()
+        a.extend(xs)
+        b.extend(ys)
+        c.extend(xs + ys)
+        a.merge(b)
+        assert a.n == c.n
+        assert a.mean == pytest.approx(c.mean, rel=1e-6, abs=1e-6)
+        assert a.variance == pytest.approx(c.variance, rel=1e-4, abs=1e-4)
+
+
+class TestPercentile:
+    def test_median_odd(self):
+        assert percentile([3, 1, 2], 50) == 2
+
+    def test_median_even_interpolates(self):
+        assert percentile([1, 2, 3, 4], 50) == 2.5
+
+    def test_extremes(self):
+        xs = [5.0, 1.0, 9.0]
+        assert percentile(xs, 0) == 1.0
+        assert percentile(xs, 100) == 9.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    @given(st.lists(st.floats(0, 1e9), min_size=1, max_size=100), st.floats(0, 100))
+    def test_within_bounds(self, xs, q):
+        p = percentile(xs, q)
+        assert min(xs) <= p <= max(xs)
+
+    @given(st.lists(st.floats(0, 1e9), min_size=2, max_size=60))
+    def test_monotone_in_q(self, xs):
+        qs = [0, 25, 50, 75, 100]
+        vals = [percentile(xs, q) for q in qs]
+        assert vals == sorted(vals)
+
+
+class TestSummarize:
+    def test_fields(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.n == 4
+        assert s.mean == 2.5
+        assert s.p50 == 2.5
+        assert s.min == 1.0 and s.max == 4.0
+        assert s.total == 10.0
+        assert not math.isnan(s.stdev)
