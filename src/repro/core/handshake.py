@@ -31,6 +31,11 @@ ATTR_TAG = "mpi_tag"
 ATTR_DONE = "mpi_handshake_done"
 
 
+class HandshakeError(RuntimeError):
+    """Rank exchange failed (dead peer, no shared communicator, or the
+    channel closed before the reply arrived)."""
+
+
 @dataclass(frozen=True)
 class RankAnnouncement:
     """One side's identity: MPI gid, channel tag base, communicator kind."""
@@ -83,7 +88,21 @@ class MpiHandshakeHandler(ChannelHandler):
         channel = ctx.channel
         ann = RankAnnouncement.decode(msg.buf)
         endpoint: "MpiEndpoint" = channel.event_loop.mpi_endpoint
-        binding = endpoint.resolve(ann.gid)
+        world = endpoint.proc.world
+        if (
+            not endpoint.proc.alive
+            or world.aborted
+            or ann.gid in world.dead
+        ):
+            # Handshaking with (or as) a dead rank: refuse by closing; the
+            # peer sees channel_inactive and its pending handshake fails.
+            channel.close()
+            return
+        try:
+            binding = endpoint.resolve(ann.gid)
+        except Exception:
+            channel.close()
+            return
         channel.attributes[ATTR_BINDING] = binding
         channel.attributes[ATTR_TAG] = ann.tag
         if ann.reply_expected:
@@ -96,6 +115,20 @@ class MpiHandshakeHandler(ChannelHandler):
         done = channel.attributes.get(ATTR_DONE)
         if done is not None and not done.triggered:
             done.succeed(binding)
+
+    def channel_inactive(self, ctx):
+        # Channel teardown releases its rank mapping; a handshake still in
+        # flight completes in error rather than hanging its waiters.
+        channel = ctx.channel
+        channel.attributes.pop(ATTR_BINDING, None)
+        done = channel.attributes.get(ATTR_DONE)
+        if done is not None and not done.triggered:
+            done.fail(
+                HandshakeError(
+                    f"channel {channel.id} closed before rank handshake completed"
+                )
+            )
+        ctx.fire_channel_inactive()
 
 
 def initiate_handshake(channel: Channel, endpoint: "MpiEndpoint") -> None:

@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING, Any, Generator
 
 from repro.core.endpoint import CommBinding
 from repro.core.handshake import ATTR_BINDING, ATTR_TAG, MpiHandshakeHandler
+from repro.mpi.errors import MPIError
 from repro.netty.channel import Channel
 from repro.netty.eventloop import READ_EVENT_COST_S, EventLoop
 from repro.netty.frame import WireFrame
@@ -107,7 +108,13 @@ class MpiBodyReceiveHandler(ChannelHandler):
         tag = channel.attributes[ATTR_TAG]
         endpoint: "MpiEndpoint" = channel.event_loop.mpi_endpoint
         req = endpoint.proc._irecv(binding.peer_rank, tag, binding.context_id)
-        body = yield from req.wait()
+        try:
+            body = yield from req.wait()
+        except MPIError as exc:
+            # The body will never arrive (peer rank died / world aborted):
+            # surface it so the response handler can fail outstanding fetches.
+            channel.pipeline.fire_exception_caught(exc)
+            return
         frame.body = body
         frame.body_nbytes = body_nbytes
         ctx.fire_channel_read(frame)
@@ -144,6 +151,8 @@ class MpiBasicEventLoop(EventLoop):
         self.iprobe_hits = 0
 
     def on_mpi_channel_bound(self, channel: Channel) -> None:
+        if channel in self.mpi_channels:
+            return  # idempotent: re-handshakes must not double-poll
         self.mpi_channels.append(channel)
         # A parked loop must start iprobing the new channel.
         self.selector.wakeup()
@@ -183,7 +192,11 @@ class MpiBasicEventLoop(EventLoop):
                         req = endpoint.proc._irecv(
                             binding.peer_rank, tag, binding.context_id
                         )
-                        frame = yield from req.wait()
+                        try:
+                            frame = yield from req.wait()
+                        except MPIError as exc:
+                            channel.pipeline.fire_exception_caught(exc)
+                            break
                         self.messages_read += 1
                         yield env.timeout(READ_EVENT_COST_S)
                         try:
@@ -248,3 +261,10 @@ class NotifyingHandshakeHandler(MpiHandshakeHandler):
             hook = getattr(loop, "on_mpi_channel_bound", None)
             if hook is not None:
                 hook(ctx.channel)
+
+    def channel_inactive(self, ctx):
+        loop = ctx.channel.event_loop
+        mpi_channels = getattr(loop, "mpi_channels", None)
+        if mpi_channels is not None and ctx.channel in mpi_channels:
+            mpi_channels.remove(ctx.channel)
+        super().channel_inactive(ctx)

@@ -1,0 +1,57 @@
+"""repro.faults — fault injection & recovery for the simulated cluster.
+
+The chaos engine for this reproduction: declarative fault plans
+(:mod:`plan`), a simnet-level injector (:mod:`injector`), Spark-side
+recovery semantics (:mod:`recovery`), a scenario harness (:mod:`chaos`),
+and deterministic availability reports (:mod:`report`). The paper's Sec.
+VI-A caveat — MPI's fault model is all-or-nothing unless ULFM-style
+shrinking is assumed — becomes measurable here: identical fault plans,
+four transports, very different blast radii.
+"""
+
+from repro.faults.chaos import ChaosScenario, make_chaos_profile, run_scenario
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    ExecutorCrash,
+    FaultPlan,
+    FaultSpec,
+    MessageChaos,
+    NicDegradation,
+    NodeCrash,
+    Partition,
+    RankKill,
+)
+from repro.faults.recovery import (
+    ExecutorBlacklist,
+    JobFailedError,
+    RecoveryPolicy,
+    ResilientScheduler,
+)
+from repro.faults.report import AvailabilityReport, FaultEvent, render_matrix
+from repro.faults.rng import SeededRng, chaos_stream, derive_seed, plan_stream
+
+__all__ = [
+    "AvailabilityReport",
+    "ChaosScenario",
+    "ExecutorBlacklist",
+    "ExecutorCrash",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "JobFailedError",
+    "MessageChaos",
+    "NicDegradation",
+    "NodeCrash",
+    "Partition",
+    "RankKill",
+    "RecoveryPolicy",
+    "ResilientScheduler",
+    "SeededRng",
+    "chaos_stream",
+    "derive_seed",
+    "make_chaos_profile",
+    "plan_stream",
+    "render_matrix",
+    "run_scenario",
+]

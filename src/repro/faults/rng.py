@@ -1,0 +1,24 @@
+"""Seeded randomness for fault injection.
+
+Thin facade over :mod:`repro.util.rng`: every stochastic decision in the
+chaos engine (which message to drop, when a random fault fires) comes from
+a :class:`SeededRng` substream derived from the plan seed, so one integer
+reproduces an entire faulted simulation — including its availability
+report, byte for byte.
+"""
+
+from __future__ import annotations
+
+from repro.util.rng import SeededRng, derive_seed
+
+__all__ = ["SeededRng", "derive_seed", "plan_stream", "chaos_stream"]
+
+
+def plan_stream(seed: int) -> SeededRng:
+    """RNG used to *build* a stochastic fault plan (spec times/targets)."""
+    return SeededRng(derive_seed(seed, "faults", "plan"))
+
+
+def chaos_stream(seed: int) -> SeededRng:
+    """RNG used to *execute* per-message chaos (drop/delay/corrupt rolls)."""
+    return SeededRng(derive_seed(seed, "faults", "chaos"))

@@ -101,6 +101,8 @@ class Comm:
         self.proc = proc
         self.desc = desc
         self._coll_seq = 0  # collective-call counter (same order on all ranks)
+        # Let the failure machinery map (rank, context) back to a gid.
+        proc._register_comm(desc)
 
     # -- identity ----------------------------------------------------------
     @property
@@ -188,6 +190,11 @@ class Comm:
         env_msg = yield self.proc.matching.probe_event(
             source, tag, self.desc.ctx_pt2pt
         )
+        if env_msg is None:
+            # Woken by a failure sweep, not a message (see wake_probes_empty).
+            from repro.mpi.errors import RankDeadError
+
+            raise RankDeadError(f"probe on {self.name} interrupted by rank failure")
         if status is not None:
             status.source = env_msg.src_rank
             status.tag = env_msg.tag

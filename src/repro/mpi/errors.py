@@ -17,3 +17,21 @@ class TagError(MPIError):
 
 class SpawnError(MPIError):
     """Dynamic Process Management failure."""
+
+
+class RankDeadError(MPIError):
+    """A point-to-point peer has died (ULFM's MPI_ERR_PROC_FAILED).
+
+    Only raised under communicator-*shrink* fault semantics: operations
+    naming the dead rank complete in error while the rest of the world
+    keeps running.
+    """
+
+
+class WorldAbortedError(MPIError):
+    """The whole MPI world aborted after a rank death.
+
+    Default MPI error-handler semantics (MPI_ERRORS_ARE_FATAL): one dead
+    rank takes every connected communicator with it — the paper's Sec VI-A
+    caveat about launching Spark executors via DPM.
+    """

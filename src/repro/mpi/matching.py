@@ -127,6 +127,32 @@ class MatchingEngine:
                 remaining.append((source, tag, ctx, ev))
         self._probe_waiters = remaining
 
+    # -- failure propagation ------------------------------------------------
+    def fail_posted(
+        self,
+        pred: Callable[[PostedRecv], bool],
+        exc_factory: Callable[[], BaseException],
+    ) -> int:
+        """Complete matching posted receives in error (rank death)."""
+        victims = [p for p in self.posted if pred(p)]
+        for posted in victims:
+            self.posted.remove(posted)
+            if not posted.request.event.triggered:
+                posted.request.event.fail(exc_factory())
+        return len(victims)
+
+    def wake_probes_empty(self) -> None:
+        """Wake every blocked probe with ``None`` (no message).
+
+        Used on rank death so pollers (the Basic design's selector loop)
+        re-examine their channels instead of parking forever on a peer that
+        will never send again.
+        """
+        waiters, self._probe_waiters = self._probe_waiters, []
+        for _, _, _, ev in waiters:
+            if not ev.triggered:
+                ev.succeed(None)
+
 
 def _fill_status(status: Status, env_msg: Envelope) -> None:
     status.source = env_msg.src_rank

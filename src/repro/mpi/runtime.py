@@ -23,14 +23,14 @@ from typing import Any, Callable, Generator
 
 from repro.mpi.communicator import Comm, CommDescriptor, Group, Intercomm, Intracomm
 from repro.mpi.envelope import RTS_BYTES, Envelope, Protocol
-from repro.mpi.errors import MPIError
+from repro.mpi.errors import MPIError, RankDeadError, WorldAbortedError
 from repro.mpi.matching import MatchingEngine, PostedRecv
 from repro.mpi.request import Request
 from repro.mpi.status import ANY_SOURCE, ANY_TAG
 from repro.simnet.engine import SimEngine
 from repro.simnet.interconnect import WireModel
 from repro.simnet.resources import Store
-from repro.simnet.topology import SimCluster, SimNode
+from repro.simnet.topology import LinkDown, MessageDropped, SimCluster, SimNode
 from repro.util.serialization import sizeof
 from repro.util.units import GiB
 
@@ -47,11 +47,40 @@ class MPIProcess:
         self.node = node
         self.name = name
         self.env = world.env
+        self.alive = True
         self.matching = MatchingEngine(world.env, self._on_match)
         self.comm_world: Intracomm | None = None  # set by launch/spawn
         self.parent_comm: Intercomm | None = None  # set for DPM children
         self.sim_process = None  # the kernel Process running main()
         self._main: Callable[["MPIProcess"], Generator] | None = None
+        # Every communicator handle this rank ever holds, keyed by context
+        # id (both pt2pt and coll) — the failure machinery uses it to map a
+        # (source rank, context) pair back to a global id.
+        self._comm_descs: dict[int, CommDescriptor] = {}
+
+    def _register_comm(self, desc: CommDescriptor) -> None:
+        self._comm_descs[desc.ctx_pt2pt] = desc
+        self._comm_descs[desc.ctx_coll] = desc
+
+    def _peer_gid(self, source_rank: int, context_id: int) -> int | None:
+        """Resolve a (rank, context) peer reference to a gid, if known."""
+        desc = self._comm_descs.get(context_id)
+        if desc is None:
+            return None
+        group = desc.remote_group or desc.local_group
+        if 0 <= source_rank < group.size:
+            return group.gid_of(source_rank)
+        return None
+
+    def _check_sendable(self, dst_gid: int) -> None:
+        if self.world.aborted:
+            raise WorldAbortedError(f"{self.name}: MPI world has aborted")
+        if not self.alive:
+            raise RankDeadError(f"{self.name} is dead")
+        dst = self.world._procs.get(dst_gid)
+        if dst is None or not dst.alive:
+            name = dst.name if dst is not None else f"gid={dst_gid}"
+            raise RankDeadError(f"{self.name}: peer {name} is dead")
 
     def start(self) -> None:
         """Begin executing this rank's main() as a simulation process."""
@@ -74,10 +103,18 @@ class MPIProcess:
         nbytes: int | None,
     ) -> Generator:
         """Blocking send: eager returns after local overhead; rendezvous
-        returns once the payload has been pulled by the receiver."""
+        returns once the payload has been pulled by the receiver.
+
+        Sends involving a dead peer (or an aborted world) raise
+        :class:`RankDeadError` / :class:`WorldAbortedError` — MPI transports
+        on lossless fabrics surface peer failure as an immediate error, not
+        a timeout.
+        """
+        self._check_sendable(dst_gid)
         model = self.world.model
         size = sizeof(payload) if nbytes is None else int(nbytes)
         yield self.env.timeout(model.sender_cpu_time(size))
+        self._check_sendable(dst_gid)  # peer may have died during overhead
         if size <= model.rendezvous_threshold:
             envl = Envelope(
                 self.gid, src_rank, dst_gid, context_id, tag, payload, size,
@@ -105,6 +142,11 @@ class MPIProcess:
         req = Request(self.env, "send")
         size = sizeof(payload) if nbytes is None else int(nbytes)
         req.status.nbytes = size
+        try:
+            self._check_sendable(dst_gid)
+        except MPIError as exc:
+            req.event.fail(exc)
+            return req
 
         def _run() -> Generator:
             yield from self._send(dst_gid, src_rank, context_id, tag, payload, size)
@@ -118,6 +160,25 @@ class MPIProcess:
     # -- recv side -----------------------------------------------------------
     def _irecv(self, source: int, tag: int, context_id: int) -> Request:
         req = Request(self.env, "recv")
+        if self.world.aborted:
+            req.event.fail(WorldAbortedError(f"{self.name}: MPI world has aborted"))
+            return req
+        if not self.alive:
+            req.event.fail(RankDeadError(f"{self.name} is dead"))
+            return req
+        if source != ANY_SOURCE:
+            # A receive naming an already-dead peer can never complete; fail
+            # it now unless matching data is already queued.
+            peer_gid = self._peer_gid(source, context_id)
+            if (
+                peer_gid is not None
+                and peer_gid in self.world.dead
+                and not self.matching.iprobe(source, tag, context_id)
+            ):
+                req.event.fail(
+                    RankDeadError(f"{self.name}: recv from dead gid={peer_gid}")
+                )
+                return req
         self.matching.post_recv(source, tag, context_id, req)
         return req
 
@@ -125,16 +186,28 @@ class MPIProcess:
         """Matching engine found a (envelope, receive) pair: move the data."""
         model = self.world.model
 
+        def _fail(exc: BaseException) -> None:
+            if envl.send_done is not None and not envl.send_done.triggered:
+                envl.send_done.fail(RankDeadError(str(exc)))
+            if not posted.request.event.triggered:
+                posted.request.event.fail(RankDeadError(str(exc)))
+
         def _complete() -> Generator:
             if envl.protocol is Protocol.RENDEZVOUS:
                 src_proc = self.world.process(envl.src_gid)
-                # CTS back to the sender, then the bulk payload.
-                yield from self.world.cluster.wire_path(
-                    self.node, src_proc.node, RTS_BYTES, model
-                )
-                yield from self.world.cluster.wire_path(
-                    src_proc.node, self.node, envl.nbytes, model
-                )
+                try:
+                    # CTS back to the sender, then the bulk payload.
+                    yield from self.world.cluster.wire_path(
+                        self.node, src_proc.node, RTS_BYTES, model
+                    )
+                    yield from self.world.cluster.wire_path(
+                        src_proc.node, self.node, envl.nbytes, model
+                    )
+                except (LinkDown, MessageDropped) as exc:
+                    # A lost CTS/payload on the lossless fabric means the
+                    # path itself failed: both sides complete in error.
+                    _fail(exc)
+                    return
                 if envl.send_done is not None and not envl.send_done.triggered:
                     envl.send_done.succeed()
             delay = model.receiver_cpu_time(envl.nbytes)
@@ -144,6 +217,15 @@ class MPIProcess:
                 delay += envl.nbytes * UNEXPECTED_COPY_S_PER_BYTE
             yield self.env.timeout(delay)
             req = posted.request
+            if req.event.triggered:
+                return  # already failed by an abort/shrink sweep
+            if self.world.aborted or not self.alive:
+                req.event.fail(
+                    WorldAbortedError(f"{self.name}: world aborted during recv")
+                    if self.world.aborted
+                    else RankDeadError(f"{self.name} died during recv")
+                )
+                return
             req.status.source = envl.src_rank
             req.status.tag = envl.tag
             req.status.nbytes = envl.nbytes
@@ -168,9 +250,27 @@ class _Pipe:
     def _pump(self) -> Generator:
         while True:
             envl: Envelope = yield self.store.get()
-            yield from self.world.cluster.wire_path(
-                self.src.node, self.dst.node, envl.wire_bytes(), self.world.model
-            )
+            try:
+                yield from self.world.cluster.wire_path(
+                    self.src.node, self.dst.node, envl.wire_bytes(), self.world.model
+                )
+            except MessageDropped as exc:
+                # MPI has no transport-level retransmit in this model: a
+                # lost envelope on the "lossless" fabric escalates to a
+                # fault (world abort or rank isolation per fault_mode) —
+                # the blast-radius asymmetry vs. TCP's quiet RTO.
+                self.world._on_envelope_lost(envl, exc)
+                continue
+            except LinkDown as exc:
+                if envl.send_done is not None and not envl.send_done.triggered:
+                    envl.send_done.fail(RankDeadError(str(exc)))
+                continue
+            if not self.dst.alive:
+                if envl.send_done is not None and not envl.send_done.triggered:
+                    envl.send_done.fail(
+                        RankDeadError(f"{self.dst.name} died before delivery")
+                    )
+                continue
             self.dst.matching.deliver(envl)
 
 
@@ -188,15 +288,38 @@ class RankSpec:
 
 
 class MPIWorld:
-    """Runtime owning all simulated MPI processes on one cluster."""
+    """Runtime owning all simulated MPI processes on one cluster.
 
-    def __init__(self, env: SimEngine, cluster: SimCluster, model: WireModel) -> None:
+    ``fault_mode`` picks the failure semantics the paper contrasts:
+
+    * ``"abort"`` (default, MPI_ERRORS_ARE_FATAL): one dead rank aborts the
+      whole runtime — every pending operation everywhere fails with
+      :class:`WorldAbortedError`; this is what makes DPM-launched executors
+      fragile.
+    * ``"shrink"`` (ULFM-style): only operations naming the dead rank fail
+      (:class:`RankDeadError`); survivors keep communicating.
+    """
+
+    def __init__(
+        self,
+        env: SimEngine,
+        cluster: SimCluster,
+        model: WireModel,
+        fault_mode: str = "abort",
+    ) -> None:
+        if fault_mode not in ("abort", "shrink"):
+            raise ValueError(f"fault_mode must be 'abort' or 'shrink', got {fault_mode!r}")
         self.env = env
         self.cluster = cluster
         self.model = model
+        self.fault_mode = fault_mode
+        self.aborted = False
+        self.dead: set[int] = set()
+        self.lost_envelopes = 0
         self._gids = itertools.count(0)
         self._procs: dict[int, MPIProcess] = {}
         self._pipes: dict[tuple[int, int], _Pipe] = {}
+        cluster.link_state.on_change(self._on_link_event)
 
     # -- registry ------------------------------------------------------------
     def process(self, gid: int) -> MPIProcess:
@@ -204,6 +327,89 @@ class MPIWorld:
             return self._procs[gid]
         except KeyError:
             raise MPIError(f"no such MPI process gid={gid}") from None
+
+    # -- failure machinery ---------------------------------------------------
+    def _on_link_event(self, kind: str, payload) -> None:
+        if kind != "node-failed":
+            return
+        node: SimNode = payload
+        for proc in list(self._procs.values()):
+            if proc.node is node and proc.alive:
+                self.kill_process(proc.gid, reason=f"{node.name} failed")
+
+    def kill_process(self, gid: int, reason: str = "killed") -> None:
+        """Crash one rank; consequences follow :attr:`fault_mode`."""
+        proc = self._procs.get(gid)
+        if proc is None or not proc.alive:
+            return
+        proc.alive = False
+        self.dead.add(gid)
+        exc_factory = lambda: RankDeadError(f"{proc.name}: {reason}")  # noqa: E731
+        # The dead rank's own pending operations die with it.
+        proc.matching.fail_posted(lambda p: True, exc_factory)
+        proc.matching.wake_probes_empty()
+        self._drop_unexpected(proc, exc_factory)
+        if self.fault_mode == "abort":
+            self._abort_world(f"{proc.name} died ({reason})")
+        else:
+            self._shrink_after_death(proc)
+
+    def _drop_unexpected(self, proc: MPIProcess, exc_factory) -> None:
+        """Discard a dead rank's unexpected queue, erroring rendezvous senders."""
+        for envl in proc.matching.unexpected:
+            if envl.send_done is not None and not envl.send_done.triggered:
+                envl.send_done.fail(exc_factory())
+        proc.matching.unexpected.clear()
+
+    def _abort_world(self, reason: str) -> None:
+        if self.aborted:
+            return
+        self.aborted = True
+        exc_factory = lambda: WorldAbortedError(  # noqa: E731
+            f"MPI world aborted: {reason}"
+        )
+        for proc in self._procs.values():
+            if proc.alive:
+                proc.alive = False
+                self.dead.add(proc.gid)
+            proc.matching.fail_posted(lambda p: True, exc_factory)
+            proc.matching.wake_probes_empty()
+            self._drop_unexpected(proc, exc_factory)
+        for pipe in self._pipes.values():
+            while pipe.store.items:
+                envl = pipe.store.items.popleft()
+                if envl.send_done is not None and not envl.send_done.triggered:
+                    envl.send_done.fail(exc_factory())
+
+    def _shrink_after_death(self, dead: MPIProcess) -> None:
+        """ULFM-style isolation: only ops naming the dead rank fail."""
+        exc_factory = lambda: RankDeadError(f"{dead.name} died")  # noqa: E731
+        for proc in self._procs.values():
+            if proc is dead or not proc.alive:
+                continue
+            proc.matching.fail_posted(
+                lambda p, proc=proc: (
+                    p.source != ANY_SOURCE
+                    and proc._peer_gid(p.source, p.context_id) == dead.gid
+                ),
+                exc_factory,
+            )
+        # Envelopes already queued toward or from the dead rank never land.
+        for (src_gid, dst_gid), pipe in self._pipes.items():
+            if dead.gid not in (src_gid, dst_gid):
+                continue
+            while pipe.store.items:
+                envl = pipe.store.items.popleft()
+                if envl.send_done is not None and not envl.send_done.triggered:
+                    envl.send_done.fail(exc_factory())
+
+    def _on_envelope_lost(self, envl: Envelope, exc: MessageDropped) -> None:
+        """A wire-level drop hit the MPI path (no retransmit layer here)."""
+        self.lost_envelopes += 1
+        if envl.send_done is not None and not envl.send_done.triggered:
+            envl.send_done.fail(RankDeadError(f"envelope lost: {exc}"))
+        if self.fault_mode == "abort":
+            self._abort_world(f"message loss on the fabric ({exc})")
 
     def _route(self, envl: Envelope) -> None:
         key = (envl.src_gid, envl.dst_gid)

@@ -66,6 +66,11 @@ class Selector:
 
     # -- registration ------------------------------------------------------
     def register_channel(self, channel: "Channel") -> SelectionKey:
+        for existing in self.keys:
+            if existing.channel is channel:
+                raise ValueError(
+                    f"channel {channel.id} already registered with this selector"
+                )
         key = SelectionKey(ops=OP_READ, channel=channel)
         self.keys.append(key)
         self.wakeup()  # a blocked select must notice the new registration

@@ -40,7 +40,14 @@ from repro.simnet.sockets import (
     SocketError,
     SocketStack,
 )
-from repro.simnet.topology import NetTrace, SimCluster, SimNode
+from repro.simnet.topology import (
+    LinkDown,
+    LinkState,
+    MessageDropped,
+    NetTrace,
+    SimCluster,
+    SimNode,
+)
 
 __all__ = [
     "SimEngine",
@@ -70,6 +77,9 @@ __all__ = [
     "SimCluster",
     "SimNode",
     "NetTrace",
+    "LinkState",
+    "LinkDown",
+    "MessageDropped",
     "SocketStack",
     "SocketAddress",
     "SimSocket",

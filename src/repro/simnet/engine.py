@@ -18,6 +18,7 @@ from repro.simnet.events import (
     SimError,
     Timeout,
 )
+from repro.util.rng import SeededRng
 
 
 class EmptySchedule(SimError):
@@ -37,11 +38,15 @@ class SimEngine:
     'done at 2.5'
     """
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    def __init__(self, start_time: float = 0.0, seed: int = 0) -> None:
         self.now: float = start_time
         self._heap: list[tuple[float, int, Event]] = []
         self._seq = 0
         self._active_process: Process | None = None
+        # Every stochastic component (fault injection, chaos filters) forks a
+        # substream off this so one seed reproduces the whole simulation.
+        self.seed = int(seed)
+        self.rng = SeededRng(self.seed)
 
     # -- scheduling ----------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0) -> None:

@@ -182,7 +182,12 @@ class Process(Event):
         self._interrupts.append(Interrupt(cause))
         target = self._target
         if target is not None and not target.triggered:
-            # Detach from the waited-on event and wake immediately.
+            # Detach from the waited-on event and wake immediately. The
+            # callback must go too: if the old target triggers later (e.g. a
+            # queued resource request cancelled by the dying process's own
+            # finally-release), it would re-resume a finished process.
+            if target.callbacks is not None and self._resume in target.callbacks:
+                target.callbacks.remove(self._resume)
             wakeup = Event(self.env)
             wakeup._ok = True
             wakeup._value = None
@@ -192,6 +197,8 @@ class Process(Event):
 
     def _resume(self, event: Event) -> None:
         """Advance the generator with ``event``'s outcome."""
+        if self.triggered:
+            return  # stale callback from an event this process detached from
         env = self.env
         env._active_process = self
         while True:

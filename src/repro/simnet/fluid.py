@@ -97,6 +97,32 @@ class FluidNetwork:
     def active_count(self) -> int:
         return len(self.flows)
 
+    def abort_flows(self, link_pred, exc_factory) -> int:
+        """Fail every active flow crossing a link matching ``link_pred``.
+
+        Used on node failure: in-flight bulk transfers touching the dead
+        node complete in error (their ``done`` event fails with
+        ``exc_factory()``), and the freed capacity re-rates survivors.
+        Returns the number of flows aborted.
+        """
+        victims = [
+            flow
+            for flow in self.flows.values()
+            if any(link_pred(key) for key in flow.links)
+        ]
+        for flow in sorted(victims, key=lambda f: f.fid):
+            del self.flows[flow.fid]
+            for key in flow.links:
+                self.link_flows[key].discard(flow.fid)
+            flow.gen += 1  # stale completion timers become no-ops
+            flow.done.fail(exc_factory())
+        if victims:
+            affected: set[int] = set()
+            for flow in victims:
+                affected |= self._affected(flow.links)
+            self._rerate(affected)
+        return len(victims)
+
     def utilization(self, link: Hashable) -> float:
         """Instantaneous share of a link's capacity in use."""
         cap = self.link_caps.get(link)

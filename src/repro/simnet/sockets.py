@@ -19,11 +19,16 @@ from repro.simnet.engine import SimEngine
 from repro.simnet.events import Event, SimError
 from repro.simnet.interconnect import WireModel
 from repro.simnet.resources import Store
-from repro.simnet.topology import SimCluster, SimNode
+from repro.simnet.topology import LinkDown, MessageDropped, SimCluster, SimNode
+
+# TCP's minimum retransmission timeout; paid per dropped segment before the
+# pump retries. Makes lossy links slow for TCP where they are *fatal* for
+# the MPI path (see repro.mpi.runtime._Pipe).
+RETRANSMIT_DELAY_S = 0.2
 
 
 class SocketError(SimError):
-    """Connection-level failure (refused, closed, double bind)."""
+    """Connection-level failure (refused, closed, reset, double bind)."""
 
 
 @dataclass(frozen=True)
@@ -78,6 +83,7 @@ class SimSocket:
         self.closed = False
         self.bytes_sent = 0
         self.bytes_received = 0
+        stack._register(self)
         self._pump = stack.env.process(self._pump_loop(), name=f"sock{self.socket_id}-pump")
 
     # -- API -------------------------------------------------------------
@@ -122,6 +128,17 @@ class SimSocket:
         self.closed = True
         self._outbound.put(Segment(None, 0, eof=True))
 
+    def abort(self) -> None:
+        """Abrupt teardown (peer died / connection reset): no flush.
+
+        EOF surfaces on the *local* inbound stream so the owning event loop
+        fires ``channel_inactive``; nothing is sent to the peer.
+        """
+        if self.closed:
+            return
+        self.closed = True
+        self._inbound.put(Segment(None, 0, eof=True))
+
     # -- internals ---------------------------------------------------------
     def _pump_loop(self) -> Generator[Event, Any, None]:
         env = self.env
@@ -130,16 +147,31 @@ class SimSocket:
             if seg.eof:
                 peer = self.peer
                 if peer is not None:
-                    yield from self.stack.cluster.wire_path(
-                        self.node, self.peer_node, 0, self.model
-                    )
+                    try:
+                        yield from self.stack.cluster.wire_path(
+                            self.node, self.peer_node, 0, self.model
+                        )
+                    except (LinkDown, MessageDropped):
+                        return  # peer gone; FIN is moot
                     peer._inbound.put(seg)
                 return
             # Sender-side stack cost, wire, receiver-side stack cost.
             yield env.timeout(self.model.sender_cpu_time(seg.nbytes))
-            yield from self.stack.cluster.wire_path(
-                self.node, self.peer_node, seg.nbytes, self.model
-            )
+            delivered = False
+            while not delivered:
+                try:
+                    yield from self.stack.cluster.wire_path(
+                        self.node, self.peer_node, seg.nbytes, self.model
+                    )
+                    delivered = True
+                except MessageDropped:
+                    # TCP retransmits lost segments after an RTO.
+                    yield env.timeout(RETRANSMIT_DELAY_S)
+                except LinkDown:
+                    # Connection reset: surface EOF locally; a surviving
+                    # peer learns via the stack's failure-detection sweep.
+                    self.abort()
+                    return
             yield env.timeout(self.model.receiver_cpu_time(seg.nbytes))
             self.bytes_sent += seg.nbytes
             peer = self.peer
@@ -190,6 +222,40 @@ class SocketStack:
         self.model = model
         self._listeners: dict[SocketAddress, ListeningSocket] = {}
         self._ephemeral = itertools.count(49152)
+        self._sockets: list[SimSocket] = []
+        cluster.link_state.on_change(self._on_link_event)
+
+    def _register(self, sock: SimSocket) -> None:
+        self._sockets.append(sock)
+
+    def _on_link_event(self, kind: str, payload) -> None:
+        if kind != "node-failed":
+            return
+        node: SimNode = payload
+        self.env.process(
+            self._failure_sweep(node), name=f"sock-sweep:{node.name}"
+        )
+
+    def _failure_sweep(self, node: SimNode) -> Generator[Event, Any, None]:
+        """After the detection delay, reset connections touching a dead node.
+
+        Models the RST / connection-timeout path: surviving endpoints see
+        EOF on their stream (→ Netty fires ``channel_inactive``); new
+        connects to the dead node are refused because its listeners close.
+        """
+        yield self.env.timeout(self.cluster.link_state.detect_delay_s)
+        for addr, listener in list(self._listeners.items()):
+            if listener.node is node:
+                listener.closed = True
+                self._unbind(addr)
+        for sock in list(self._sockets):
+            if sock.closed:
+                self._sockets.remove(sock)
+                continue
+            if sock.node is node:
+                sock.closed = True  # dead host: silent, nothing to surface
+            elif sock.peer_node is node:
+                sock.abort()
 
     def listen(self, node: SimNode | str | int, port: int) -> ListeningSocket:
         node = self.cluster.node(node)
@@ -219,8 +285,13 @@ class SocketStack:
         local = SocketAddress(node.name, next(self._ephemeral))
 
         # SYN / SYN-ACK round trip on the wire.
-        yield from self.cluster.wire_path(node, server_node, 0, self.model)
-        yield from self.cluster.wire_path(server_node, node, 0, self.model)
+        try:
+            yield from self.cluster.wire_path(node, server_node, 0, self.model)
+            yield from self.cluster.wire_path(server_node, node, 0, self.model)
+        except (LinkDown, MessageDropped) as exc:
+            raise SocketError(f"connect to {remote} failed: {exc}") from exc
+        if listener.closed:
+            raise SocketError(f"connection refused: {remote}")
 
         client = SimSocket(self, node, server_node, local, remote, self.model)
         server = SimSocket(self, server_node, node, remote, local, self.model)

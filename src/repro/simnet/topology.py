@@ -9,10 +9,10 @@ switch, are the contended resource.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Generator
+from typing import Any, Callable, Generator, Iterable
 
 from repro.simnet.engine import SimEngine
-from repro.simnet.events import Event
+from repro.simnet.events import Event, SimError
 from repro.simnet.fluid import FluidNetwork
 from repro.simnet.interconnect import Fabric, WireModel, loopback
 from repro.simnet.resources import Resource
@@ -24,6 +24,99 @@ from repro.util.stats import OnlineStats
 # queues behind a multi-megabyte bulk transfer; our message-granularity NIC
 # model would otherwise stall rendezvous handshakes by whole bulk slots.
 CONTROL_BYPASS_BYTES = 256
+
+
+class LinkDown(SimError):
+    """No path between two nodes: an endpoint died or a partition cut it."""
+
+
+class MessageDropped(SimError):
+    """One in-flight message was lost (or corrupted) by fault injection.
+
+    Reliable protocols (TCP) retransmit on this; lossless-fabric protocols
+    (MPI over IB) treat it as a fatal link event — that asymmetry is the
+    blast-radius story the fault experiments measure.
+    """
+
+    def __init__(self, message: str, corrupted: bool = False) -> None:
+        super().__init__(message)
+        self.corrupted = corrupted
+
+
+class LinkState:
+    """Cluster-wide link health: dead nodes, degraded NICs, partitions.
+
+    The injector mutates this; the wire path consults it; protocol layers
+    (sockets, MPI) subscribe via :meth:`on_change` to learn about failures
+    after their own detection delay. ``generation`` bumps on every change so
+    consumers can key caches off it.
+    """
+
+    def __init__(self, env: SimEngine, detect_delay_s: float = 0.05) -> None:
+        self.env = env
+        self.failed: set[int] = set()
+        self.degraded: dict[int, float] = {}  # node index -> slowdown factor
+        self._partitions: list[tuple[frozenset[int], frozenset[int]]] = []
+        self.generation = 0
+        # How long surviving peers take to notice a dead endpoint (models
+        # TCP RST / connection-timeout propagation, not instant oracle
+        # knowledge).
+        self.detect_delay_s = detect_delay_s
+        self._listeners: list[Callable[[str, Any], None]] = []
+
+    def on_change(self, listener: Callable[[str, Any], None]) -> None:
+        self._listeners.append(listener)
+
+    def _notify(self, kind: str, payload: Any) -> None:
+        self.generation += 1
+        for listener in list(self._listeners):
+            listener(kind, payload)
+
+    # -- mutations (the injector's surface) --------------------------------
+    def fail_node(self, node: "SimNode") -> None:
+        if node.index in self.failed:
+            return
+        self.failed.add(node.index)
+        self._notify("node-failed", node)
+
+    def degrade(self, node: "SimNode", factor: float) -> None:
+        """Slow the node's NIC by ``factor`` (2.0 = half bandwidth)."""
+        if factor < 1.0:
+            raise ValueError(f"degrade factor must be >= 1, got {factor}")
+        self.degraded[node.index] = factor
+        self._notify("nic-degraded", node)
+
+    def restore(self, node: "SimNode") -> None:
+        if self.degraded.pop(node.index, None) is not None:
+            self._notify("nic-restored", node)
+
+    def partition(self, group_a: Iterable[int], group_b: Iterable[int]) -> None:
+        self._partitions.append((frozenset(group_a), frozenset(group_b)))
+        self._notify("partitioned", self._partitions[-1])
+
+    def heal_partitions(self) -> None:
+        if self._partitions:
+            self._partitions.clear()
+            self._notify("healed", None)
+
+    # -- queries (the wire path's surface) ---------------------------------
+    def is_failed(self, node: "SimNode") -> bool:
+        return node.index in self.failed
+
+    def path_up(self, src: "SimNode", dst: "SimNode") -> bool:
+        if src.index in self.failed or dst.index in self.failed:
+            return False
+        for side_a, side_b in self._partitions:
+            if (src.index in side_a and dst.index in side_b) or (
+                src.index in side_b and dst.index in side_a
+            ):
+                return False
+        return True
+
+    def slowdown(self, src: "SimNode", dst: "SimNode") -> float:
+        return max(
+            self.degraded.get(src.index, 1.0), self.degraded.get(dst.index, 1.0)
+        )
 
 
 @dataclass
@@ -129,6 +222,31 @@ class SimCluster:
         self.trace = NetTrace()
         self._loopback = loopback(fabric)
         self.fluid = FluidNetwork(env)
+        self.link_state = LinkState(env)
+        self.link_state.on_change(self._on_link_event)
+        # Optional per-message chaos hook: (src, dst, nbytes, model) ->
+        # None | ("drop"|"corrupt", 0.0) | ("delay", seconds). Installed by
+        # repro.faults.injector for message-level fault plans.
+        self.fault_filter: (
+            Callable[[SimNode, SimNode, int, WireModel], tuple[str, float] | None]
+            | None
+        ) = None
+        self.fault_stats = {"dropped": 0, "corrupted": 0, "delayed": 0}
+
+    def _on_link_event(self, kind: str, payload: Any) -> None:
+        if kind != "node-failed":
+            return
+        node: SimNode = payload
+        # In-flight bulk transfers touching the dead node fail promptly; the
+        # generator parked on the flow's done event sees LinkDown.
+        self.fluid.abort_flows(
+            lambda key: isinstance(key, tuple) and key and key[0] == node.index,
+            lambda: LinkDown(f"{node.name} failed mid-transfer"),
+        )
+
+    def fail_node(self, ref: int | str | SimNode) -> None:
+        """Convenience: kill a node (delegates to :class:`LinkState`)."""
+        self.link_state.fail_node(self.node(ref))
 
     def __len__(self) -> int:
         return len(self.nodes)
@@ -161,6 +279,9 @@ class SimCluster:
             raise ValueError(f"nbytes must be >= 0, got {nbytes}")
         env = self.env
         start = env.now
+        ls = self.link_state
+        if not ls.path_up(src, dst):
+            raise LinkDown(f"no path {src.name}->{dst.name}")
         if src is dst:
             lo = self._loopback
             yield env.timeout(lo.protocol_latency(nbytes) + lo.serialization_time(nbytes))
@@ -168,29 +289,61 @@ class SimCluster:
             self.trace.record(lo, src, dst, nbytes, elapsed)
             return elapsed
 
+        if self.fault_filter is not None:
+            verdict = self.fault_filter(src, dst, nbytes, model)
+            if verdict is not None:
+                action, amount = verdict
+                if action == "drop":
+                    self.fault_stats["dropped"] += 1
+                    raise MessageDropped(f"dropped {src.name}->{dst.name}")
+                if action == "corrupt":
+                    self.fault_stats["corrupted"] += 1
+                    raise MessageDropped(
+                        f"corrupted {src.name}->{dst.name}", corrupted=True
+                    )
+                if action == "delay":
+                    self.fault_stats["delayed"] += 1
+                    yield env.timeout(amount)
+
+        # NIC degradation stretches both serialization and flow rate; flows
+        # started before a degradation keep their old rate (the fluid link
+        # key embeds the link-state generation) — a coarse but cheap
+        # approximation of mid-flow rate renegotiation.
+        factor = ls.slowdown(src, dst)
         if nbytes <= CONTROL_BYPASS_BYTES:
             # Control-sized messages interleave at packet granularity and
             # never queue behind bulk flows.
             yield env.timeout(
-                model.serialization_time(nbytes) + model.protocol_latency(nbytes)
+                (model.serialization_time(nbytes) + model.protocol_latency(nbytes))
+                * factor
             )
         else:
             # Bulk payloads: flow-level fair sharing of the protocol stack's
             # effective bandwidth at both endpoints (see simnet.fluid). The
             # per-chunk stack cost is CPU/protocol work, charged on top.
-            cap = min(model.effective_bandwidth_Bps(), model.fabric.line_rate_Bps)
+            cap = (
+                min(model.effective_bandwidth_Bps(), model.fabric.line_rate_Bps)
+                / factor
+            )
+            gen = ls.generation
             done = self.fluid.transfer(
                 [
-                    ((src.index, "tx", model.name), cap),
-                    ((dst.index, "rx", model.name), cap),
+                    ((src.index, "tx", model.name, gen), cap),
+                    ((dst.index, "rx", model.name, gen), cap),
                 ],
                 nbytes,
             )
             yield done
             yield env.timeout(
-                model.protocol_latency(nbytes)
-                + model.n_chunks(nbytes) * model.per_chunk_s
+                (
+                    model.protocol_latency(nbytes)
+                    + model.n_chunks(nbytes) * model.per_chunk_s
+                )
+                * factor
             )
+        if not ls.path_up(src, dst):
+            # The receiver died while the message was in flight.
+            raise LinkDown(f"{dst.name} failed before delivery from {src.name}")
 
         src.nic_stats.tx_bytes += nbytes
         src.nic_stats.tx_messages += 1
@@ -211,7 +364,10 @@ class SimCluster:
         """Fire-and-forget wire transfer; returns the delivery Process event."""
 
         def _run() -> Generator[Event, Any, float]:
-            elapsed = yield from self.wire_path(src, dst, nbytes, model)
+            try:
+                elapsed = yield from self.wire_path(src, dst, nbytes, model)
+            except (LinkDown, MessageDropped):
+                return -1.0  # fire-and-forget: losses are silent here
             if on_delivered is not None:
                 on_delivered()
             return elapsed

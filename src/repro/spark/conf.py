@@ -17,6 +17,17 @@ _DEFAULTS: dict[str, Any] = {
     "spark.shuffle.compress": "true",
     # Transport selection: nio (vanilla) | rdma | mpi-basic | mpi-opt
     "spark.repro.transport": "nio",
+    # Determinism: seeds the simulation engine's RNG (repro.util.rng).
+    "spark.repro.seed": "0",
+    # Fault tolerance (vanilla Spark defaults where they exist)
+    "spark.task.maxFailures": "4",
+    "spark.stage.maxConsecutiveAttempts": "4",
+    "spark.speculation": "false",
+    "spark.speculation.multiplier": "1.5",
+    "spark.speculation.quantile": "0.75",
+    "spark.blacklist.enabled": "true",
+    # MPI reaction to rank death: abort (MPI_ERRORS_ARE_FATAL) | shrink (ULFM)
+    "spark.repro.mpi.faultMode": "abort",
     # Paper Sec. VII-C memory settings
     "spark.worker.memory": "120g",
     "spark.daemon.memory": "6g",

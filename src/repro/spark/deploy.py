@@ -26,6 +26,7 @@ from typing import Any, Generator
 import numpy as np
 
 from repro.core.endpoint import MpiEndpoint
+from repro.core.handshake import HandshakeError
 from repro.harness.profile import (
     RAMDISK_READ_BPS,
     RAMDISK_WRITE_BPS,
@@ -37,17 +38,20 @@ from repro.harness.profile import (
 )
 from repro.harness.systems import SystemConfig
 from repro.mpi.dpm import SpawnSpec
+from repro.mpi.errors import MPIError, WorldAbortedError
 from repro.mpi.runtime import RankSpec
 from repro.netty.eventloop import EventLoopGroup
 from repro.simnet.engine import SimEngine
 from repro.simnet.resources import Resource
-from repro.simnet.sockets import SocketAddress
-from repro.simnet.topology import SimCluster
+from repro.simnet.sockets import SocketAddress, SocketError
+from repro.simnet.topology import LinkDown, MessageDropped, SimCluster
 from repro.spark.network import (
+    FetchFailedException,
     OneForOneStreamManager,
     RpcHandler,
     TransportClientFactory,
     TransportContext,
+    TransportError,
 )
 from repro.transports import make_transport
 from repro.util.units import MiB, US
@@ -64,6 +68,18 @@ MAX_BYTES_IN_FLIGHT = 48 * MiB
 PER_BLOCK_CLIENT_S = 0.8 * US
 # Extra header bytes per additional block aggregated into one chunk.
 PER_BLOCK_WIRE_BYTES = 48
+
+# Failures a reduce task converts into FetchFailedException (the Spark
+# scheduler's stage-resubmission trigger). WorldAbortedError is excluded:
+# an aborted MPI world means the whole job is gone, not one map output.
+_FETCHABLE_ERRORS = (
+    TransportError,
+    HandshakeError,
+    SocketError,
+    MPIError,
+    LinkDown,
+    MessageDropped,
+)
 
 
 class ShuffleOpenBlocksHandler(RpcHandler):
@@ -150,6 +166,8 @@ class SimExecutor:
         self.slots = Resource(sim.env, capacity=effective)
         self.bytes_fetched_remote = 0
         self.bytes_read_local = 0
+        # Cleared by the recovery scheduler when this executor's node dies.
+        self.alive = True
 
     @property
     def address(self) -> SocketAddress:
@@ -181,17 +199,30 @@ class SimExecutor:
         ``MAX_BYTES_IN_FLIGHT``; completions release window space.
         """
         env = self.sim.env
+        if self.endpoint is not None and self.endpoint.proc.world.aborted:
+            # The executor's MPI library is gone (MPI_ERRORS_ARE_FATAL):
+            # no retry can help — fail the job, not the fetch.
+            raise WorldAbortedError("MPI world aborted; executor cannot shuffle")
         # Open streams (one RPC per source executor).
-        per_source: list[list[tuple[Any, int, int, int, int]]] = []
+        per_source: list[list[tuple[Any, int, int, int, int, "SimExecutor"]]] = []
         for src, nbytes, n_blocks in sources:
             if nbytes <= 0:
                 continue
-            client = yield from self._get_client(src)
-            reply = yield client.send_rpc(("open_blocks", nbytes, n_blocks), 64)
+            try:
+                client = yield from self._get_client(src)
+                reply = yield client.send_rpc(("open_blocks", nbytes, n_blocks), 64)
+            except WorldAbortedError:
+                raise
+            except FetchFailedException:
+                raise
+            except _FETCHABLE_ERRORS as exc:
+                raise FetchFailedException(
+                    src.address, str(exc), exec_id=src.exec_id
+                ) from exc
             stream_id, sizes, blocks = reply
             per_source.append(
                 [
-                    (client, stream_id, idx, size, blk)
+                    (client, stream_id, idx, size, blk, src)
                     for idx, (size, blk) in enumerate(zip(sizes, blocks))
                 ]
             )
@@ -208,23 +239,43 @@ class SimExecutor:
             if chunk is not None
         ]
 
-        pending: dict[Any, tuple[int, int]] = {}  # future -> (size, blocks)
+        # future -> (size, blocks, source executor)
+        pending: dict[Any, tuple[int, int, "SimExecutor"]] = {}
         in_flight = 0
         next_req = 0
         while next_req < len(plan) or pending:
             while next_req < len(plan) and (
                 not pending or in_flight + plan[next_req][3] <= MAX_BYTES_IN_FLIGHT
             ):
-                client, stream_id, idx, size, blk = plan[next_req]
-                future = client.fetch_chunk(stream_id, idx, num_blocks=blk)
-                pending[future] = (size, blk)
+                client, stream_id, idx, size, blk, src = plan[next_req]
+                try:
+                    future = client.fetch_chunk(stream_id, idx, num_blocks=blk)
+                except WorldAbortedError:
+                    raise
+                except _FETCHABLE_ERRORS as exc:
+                    raise FetchFailedException(
+                        src.address, str(exc), exec_id=src.exec_id
+                    ) from exc
+                pending[future] = (size, blk, src)
                 in_flight += size
                 next_req += 1
             if not pending:
                 break
-            yield env.any_of(list(pending))
+            try:
+                yield env.any_of(list(pending))
+            except WorldAbortedError:
+                raise
+            except _FETCHABLE_ERRORS as exc:
+                # Attribute the failure to the source whose future failed.
+                src = next(
+                    (s for f, (_, _, s) in pending.items() if f.triggered and not f.ok),
+                    plan[0][5],
+                )
+                raise FetchFailedException(
+                    src.address, str(exc), exec_id=src.exec_id
+                ) from exc
             for future in [f for f in pending if f.triggered]:
-                size, blk = pending.pop(future)
+                size, blk, src = pending.pop(future)
                 in_flight -= size
                 self.bytes_fetched_remote += size
                 if blk > 1:
@@ -318,13 +369,17 @@ class SparkSimCluster:
         transport_name: str,
         cores_per_executor: int | None = None,
         io_threads: int = 8,
+        seed: int = 0,
+        mpi_fault_mode: str = "abort",
     ) -> None:
         if n_workers < 1:
             raise ValueError("need at least one worker")
         self.system = system
         self.n_workers = n_workers
         self.io_threads = io_threads
-        self.env = SimEngine()
+        self.seed = int(seed)
+        self.mpi_fault_mode = mpi_fault_mode
+        self.env = SimEngine(seed=seed)
         # workers on nodes [0, W); master on node W; driver on node W+1.
         self.cluster = SimCluster(
             self.env,
@@ -333,7 +388,8 @@ class SparkSimCluster:
             cores_per_node=system.cores_per_node,
         )
         self.transport = make_transport(
-            transport_name, self.env, self.cluster, loaded=True
+            transport_name, self.env, self.cluster, loaded=True,
+            fault_mode=mpi_fault_mode,
         )
         self.cores_per_executor = cores_per_executor or system.threads_per_node
         self.executors: list[SimExecutor] = []

@@ -54,6 +54,20 @@ class TransportError(RuntimeError):
     """Fetch or RPC failure surfaced to the caller."""
 
 
+class FetchFailedException(TransportError):
+    """A shuffle-block fetch failed (Spark's FetchFailedException).
+
+    Unlike an ordinary task error, the DAG scheduler reacts to this by
+    marking the source executor's map output lost and resubmitting the
+    parent stage (see repro.faults.recovery).
+    """
+
+    def __init__(self, address: Any, message: str, exec_id: int | None = None) -> None:
+        super().__init__(f"fetch from {address} failed: {message}")
+        self.address = address
+        self.exec_id = exec_id
+
+
 # ---------------------------------------------------------------------------
 # codec handlers
 # ---------------------------------------------------------------------------
@@ -103,6 +117,7 @@ class OneForOneStreamManager:
         self._streams: dict[int, Callable[[int, int], tuple[Any, int]]] = {}
         self._ids = itertools.count(1000)
         self.chunks_served = 0
+        self._invalid_reason: str | None = None
 
     def register_stream(
         self, chunk_provider: Callable[[int, int], tuple[Any, int]]
@@ -115,12 +130,23 @@ class OneForOneStreamManager:
     def get_chunk(self, stream_id: int, chunk_index: int, num_blocks: int) -> tuple[Any, int]:
         provider = self._streams.get(stream_id)
         if provider is None:
-            raise TransportError(f"unknown stream {stream_id}")
+            reason = self._invalid_reason
+            detail = f" ({reason})" if reason else ""
+            raise TransportError(f"unknown stream {stream_id}{detail}")
         self.chunks_served += 1
         return provider(chunk_index, num_blocks)
 
     def release(self, stream_id: int) -> None:
         self._streams.pop(stream_id, None)
+
+    def invalidate_all(self, reason: str) -> None:
+        """Drop every registered stream (lost map output / shuffle files).
+
+        Subsequent fetches get a ChunkFetchFailure naming ``reason`` — the
+        missing-blocks path of the server-side handler.
+        """
+        self._streams.clear()
+        self._invalid_reason = reason
 
 
 class TransportRequestHandler(ChannelHandler):
@@ -152,9 +178,18 @@ class TransportRequestHandler(ChannelHandler):
         except Exception as exc:
             channel.write_and_flush(ChunkFetchFailure(sid, str(exc)))
             return
-        channel.write_and_flush(
-            ChunkFetchSuccess(sid, payload, nbytes, msg.num_blocks)
-        )
+        try:
+            channel.write_and_flush(
+                ChunkFetchSuccess(sid, payload, nbytes, msg.num_blocks)
+            )
+        except Exception as exc:
+            # The response could not be put on the wire (e.g. the MPI body
+            # isend refused because the peer rank died). Try to tell the
+            # client; if even that fails the client learns via the channel.
+            try:
+                channel.write_and_flush(ChunkFetchFailure(sid, f"write failed: {exc}"))
+            except Exception:
+                pass
 
     def _handle_rpc(self, channel: Channel, msg: RpcRequest) -> None:
         def reply(payload: Any, nbytes: int = 0) -> None:
@@ -214,6 +249,32 @@ class TransportResponseHandler(ChannelHandler):
                 future.fail(TransportError(msg.error))
         else:
             ctx.fire_channel_read(msg)
+
+    def _fail_all(self, exc_factory: Callable[[], Exception]) -> int:
+        """Fail every outstanding future; returns how many were failed."""
+        failed = 0
+        for table in (
+            self.outstanding_fetches,
+            self.outstanding_rpcs,
+            self.outstanding_streams,
+        ):
+            futures = list(table.values())
+            table.clear()
+            for future in futures:
+                if not future.triggered:
+                    future.fail(exc_factory())
+                    failed += 1
+        return failed
+
+    def channel_inactive(self, ctx):
+        remote = ctx.channel.remote_address
+        self._fail_all(lambda: TransportError(f"connection to {remote} closed"))
+        ctx.fire_channel_inactive()
+
+    def exception_caught(self, ctx, exc):
+        remote = ctx.channel.remote_address
+        self._fail_all(lambda: TransportError(f"channel to {remote}: {exc}"))
+        ctx.fire_exception_caught(exc)
 
 
 class TransportClient:

@@ -25,11 +25,15 @@ ALIASES = {
 }
 
 
-def make_transport(name: str, env, cluster, loaded: bool = False) -> Transport:
+def make_transport(
+    name: str, env, cluster, loaded: bool = False, fault_mode: str = "abort"
+) -> Transport:
     """Instantiate a transport by name (accepts paper-legend aliases).
 
     ``loaded=True`` selects the full-CPU-load wire models for CPU-bound
     stacks — use it for end-to-end cluster runs, not microbenchmarks.
+    ``fault_mode`` ("abort" | "shrink") selects the MPI world's reaction
+    to rank death; socket transports ignore it.
     """
     key = ALIASES.get(name.lower(), name.lower())
     cls = TRANSPORTS.get(key)
@@ -38,7 +42,7 @@ def make_transport(name: str, env, cluster, loaded: bool = False) -> Transport:
             f"unknown transport {name!r}; choose from {sorted(TRANSPORTS)} "
             f"or aliases {sorted(ALIASES)}"
         )
-    return cls(env, cluster, loaded=loaded)
+    return cls(env, cluster, loaded=loaded, fault_mode=fault_mode)
 
 
 __all__ = [

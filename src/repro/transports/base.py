@@ -37,14 +37,24 @@ class Transport:
     compute_inflation = 1.0
 
     def __init__(
-        self, env: "SimEngine", cluster: "SimCluster", loaded: bool = False
+        self,
+        env: "SimEngine",
+        cluster: "SimCluster",
+        loaded: bool = False,
+        fault_mode: str = "abort",
     ) -> None:
         """``loaded=True`` selects the under-full-CPU-load wire models for
         CPU-dependent stacks (TCP/IPoIB, UCR) — the regime of the end-to-end
-        figures; idle-node microbenchmarks (Fig 8) use the defaults."""
+        figures; idle-node microbenchmarks (Fig 8) use the defaults.
+
+        ``fault_mode`` only matters for the MPI transports: how the MPI
+        world reacts to rank death ("abort" = MPI_ERRORS_ARE_FATAL,
+        "shrink" = ULFM-style survival). Socket transports ignore it —
+        TCP connections fail independently by nature."""
         self.env = env
         self.cluster = cluster
         self.loaded = loaded
+        self.fault_mode = fault_mode
         self.fabric: Fabric = cluster.fabric
         tcp_model = tcp_loaded_over(self.fabric) if loaded else tcp_over(self.fabric)
         self.control_stack = SocketStack(env, cluster, tcp_over(self.fabric))

@@ -38,9 +38,13 @@ class MpiBasicTransport(Transport):
     polling_tax_cores = 4
     compute_inflation = 1.3
 
-    def __init__(self, env, cluster, loaded: bool = False) -> None:
-        super().__init__(env, cluster, loaded)
-        self.mpi_world = MPIWorld(env, cluster, mpi_over(self.fabric))
+    def __init__(
+        self, env, cluster, loaded: bool = False, fault_mode: str = "abort"
+    ) -> None:
+        super().__init__(env, cluster, loaded, fault_mode=fault_mode)
+        self.mpi_world = MPIWorld(
+            env, cluster, mpi_over(self.fabric), fault_mode=fault_mode
+        )
 
     def make_loop(self, name: str, endpoint=None) -> MpiBasicEventLoop:
         loop = MpiBasicEventLoop(self.env, name)

@@ -1,0 +1,175 @@
+"""Spark-side recovery semantics: retries, resubmission, blacklist, spec-ex."""
+
+import pytest
+
+from repro.faults import (
+    AvailabilityReport,
+    ExecutorCrash,
+    FaultInjector,
+    FaultPlan,
+    JobFailedError,
+    NicDegradation,
+    RecoveryPolicy,
+    ResilientScheduler,
+)
+from repro.faults.chaos import make_chaos_profile
+from repro.harness.profile import ShuffleReadStage
+from repro.harness.systems import INTERNAL_CLUSTER
+from repro.spark.conf import SparkConf
+from repro.spark.deploy import SparkSimCluster
+from repro.util.units import MiB
+
+
+def make_sim(n_workers=4, transport="nio", seed=0, **kw):
+    return SparkSimCluster(
+        INTERNAL_CLUSTER, n_workers, transport,
+        cores_per_executor=4, seed=seed, **kw,
+    )
+
+
+def run_with_plan(plan, transport="nio", n_workers=4, policy=None):
+    """Run the chaos profile under `plan`, armed at the read stage."""
+    sim = make_sim(n_workers, transport, seed=plan.seed)
+    sim.launch()
+    report = AvailabilityReport(
+        scenario="unit", transport=transport, fault_mode="n/a", seed=plan.seed
+    )
+    injector = FaultInjector(
+        sim.cluster, mpi_world=sim.transport.mpi_world,
+        executors=sim.executors, report=report,
+    )
+    injector.install(plan)
+    sched = ResilientScheduler(sim, policy, report=report)
+
+    def arm_at_read(stage):
+        if isinstance(stage, ShuffleReadStage) and not injector._armed:
+            injector.arm()
+
+    sched.on_stage_start = arm_at_read
+    profile = make_chaos_profile(n_workers, 4, 64 * MiB)
+    try:
+        result = sched.run_profile(profile, deadline_s=60.0)
+    finally:
+        sim.shutdown()
+    return result, report
+
+
+class TestRecoveryPolicy:
+    def test_defaults_mirror_spark(self):
+        p = RecoveryPolicy()
+        assert p.max_task_failures == 4
+        assert p.blacklist_enabled is True
+        assert p.speculation is False
+
+    def test_from_conf(self):
+        conf = SparkConf({
+            "spark.task.maxFailures": "7",
+            "spark.stage.maxConsecutiveAttempts": "2",
+            "spark.blacklist.enabled": "false",
+            "spark.speculation": "true",
+            "spark.speculation.multiplier": "2.5",
+            "spark.speculation.quantile": "0.9",
+        })
+        p = RecoveryPolicy.from_conf(conf)
+        assert p.max_task_failures == 7
+        assert p.max_stage_attempts == 2
+        assert p.blacklist_enabled is False
+        assert p.speculation is True
+        assert p.speculation_multiplier == 2.5
+        assert p.speculation_quantile == 0.9
+
+    def test_blacklist_toggle(self):
+        from repro.faults import ExecutorBlacklist
+
+        on = ExecutorBlacklist(enabled=True)
+        on.add(3)
+        assert on.is_blacklisted(3) and len(on) == 1
+        off = ExecutorBlacklist(enabled=False)
+        off.add(3)
+        assert not off.is_blacklisted(3) and len(off) == 0
+
+
+class TestCleanRun:
+    def test_completes_without_faults(self):
+        sim = make_sim()
+        sim.launch()
+        sched = ResilientScheduler(sim)
+        result = sched.run_profile(make_chaos_profile(4, 4, 64 * MiB), 60.0)
+        sim.shutdown()
+        assert set(result.stage_seconds) == {"gen", "write", "read"}
+        assert result.total_seconds > 0
+
+    def test_profile_size_mismatch_rejected(self):
+        sim = make_sim(n_workers=2)
+        sim.launch()
+        sched = ResilientScheduler(sim)
+        with pytest.raises(ValueError):
+            sched.run_profile(make_chaos_profile(4, 4, 64 * MiB))
+        sim.shutdown()
+
+
+class TestCrashRecovery:
+    def test_executor_crash_mid_read_recovers(self):
+        plan = FaultPlan(seed=5).add(ExecutorCrash(at_s=0.005, exec_id=1))
+        result, report = run_with_plan(plan)
+        assert report.executors_lost == 1
+        assert report.blacklisted == 1
+        assert report.stage_resubmissions >= 1
+        # The resubmitted read stage finished: the job ran to completion.
+        assert set(result.stage_seconds) == {"gen", "write", "read"}
+
+    def test_recovery_redistributes_lost_columns(self):
+        # After recovery nothing should be fetched from the dead executor;
+        # the run completing at all (with a resubmission) proves the matrix
+        # was re-homed onto survivors.
+        plan = FaultPlan(seed=6).add(ExecutorCrash(at_s=0.004, exec_id=0))
+        result, report = run_with_plan(plan)
+        assert report.stage_resubmissions >= 1
+        assert "ExecutorLost" in [ev.kind for ev in report.timeline]
+
+    def test_all_executors_dead_fails_the_job(self):
+        plan = FaultPlan(seed=7)
+        for e in range(4):
+            plan.add(ExecutorCrash(at_s=0.002 + e * 0.001, exec_id=e))
+        with pytest.raises(JobFailedError):
+            run_with_plan(plan)
+
+    def test_transient_degradation_recovers_without_resubmission(self):
+        plan = FaultPlan(seed=8).add(
+            NicDegradation(at_s=0.002, node_index=2, factor=4.0, duration_s=0.5)
+        )
+        result, report = run_with_plan(plan)
+        assert report.executors_lost == 0
+        # A slow NIC is not a lost executor: fetches finish, just later.
+        assert set(result.stage_seconds) == {"gen", "write", "read"}
+
+
+class TestSpeculation:
+    def test_speculative_copy_races_queued_stragglers(self):
+        # Oversubscribe the executors (8 tasks per 4-core executor): the
+        # second wave of compute tasks queues behind the first, exceeds the
+        # multiplier-times-nominal threshold, and gets speculative copies.
+        policy = RecoveryPolicy(speculation=True)
+        sim = make_sim()
+        sim.launch()
+        report = AvailabilityReport(
+            scenario="spec", transport="nio", fault_mode="n/a", seed=0
+        )
+        sched = ResilientScheduler(sim, policy, report=report)
+        profile = make_chaos_profile(4, cores_per_executor=8, shuffle_bytes=32 * MiB)
+        result = sched.run_profile(profile, deadline_s=60.0)
+        sim.shutdown()
+        assert set(result.stage_seconds) == {"gen", "write", "read"}
+        assert report.speculative_launches >= 1
+
+    def test_speculation_off_by_default(self):
+        sim = make_sim()
+        sim.launch()
+        report = AvailabilityReport(
+            scenario="nospec", transport="nio", fault_mode="n/a", seed=0
+        )
+        sched = ResilientScheduler(sim, report=report)
+        profile = make_chaos_profile(4, cores_per_executor=8, shuffle_bytes=32 * MiB)
+        sched.run_profile(profile, deadline_s=60.0)
+        sim.shutdown()
+        assert report.speculative_launches == 0

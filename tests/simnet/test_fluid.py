@@ -150,5 +150,8 @@ class TestConservation:
         finishes = run_transfers(
             env, net, [([("l", 1e6)], s, 0.0) for s in sizes]
         )
+        # Near-equal sizes may finish in either order (float time resolution),
+        # so assert size-monotone completion up to a relative tolerance.
         order = sorted(range(len(sizes)), key=lambda i: finishes[i])
-        assert order == sorted(range(len(sizes)), key=lambda i: sizes[i])
+        for earlier, later in zip(order, order[1:]):
+            assert sizes[earlier] <= sizes[later] * (1 + 1e-6)

@@ -206,6 +206,59 @@ class TestInterrupt:
             env.run()
         assert victim.triggered and not victim.ok
 
+    def test_interrupt_detaches_callback_from_old_target(self, env):
+        # Regression: an interrupted process must be fully detached from the
+        # event it was waiting on. If the old target triggers later (here the
+        # dying process's own finally cancels its queued resource request),
+        # the finished process must not be resumed a second time.
+        from repro.simnet.resources import Resource
+
+        res = Resource(env, capacity=1)
+
+        def holder(env):
+            req = res.request()
+            yield req
+            try:
+                yield env.timeout(100)
+            finally:
+                res.release(req)
+
+        def victim_body(env):
+            req = res.request()
+            try:
+                yield req  # queued behind the holder
+            except Interrupt:
+                return "interrupted"
+            finally:
+                res.release(req)  # cancels the queued request -> it fails
+
+        def interrupter(env, victim):
+            yield env.timeout(1)
+            victim.interrupt("abandon")
+
+        env.process(holder(env))
+        victim = env.process(victim_body(env))
+        env.process(interrupter(env, victim))
+        env.run(until=env.timeout(10))
+        assert victim.value == "interrupted"
+
+    def test_stale_timeout_does_not_re_resume_finished_process(self, env):
+        def sleeper(env):
+            try:
+                yield env.timeout(100)
+            except Interrupt:
+                return "interrupted"
+
+        def interrupter(env, victim):
+            yield env.timeout(1)
+            victim.interrupt("wake")
+
+        victim = env.process(sleeper(env))
+        env.process(interrupter(env, victim))
+        # Run past t=100 so the original timeout fires after the process died.
+        env.run(until=env.timeout(200))
+        assert victim.value == "interrupted"
+
 
 class TestEvents:
     def test_manual_event_succeed(self, env):

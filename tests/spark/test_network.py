@@ -184,3 +184,61 @@ class TestClientFactory:
         proc = env.process(main(env))
         env.run()
         assert proc.value is True
+
+
+class TestFailureSurfacing:
+    """Server-side failures travel the wire as real frames; client-side
+    channel death fails every outstanding future instead of hanging it."""
+
+    def test_unknown_stream_error_names_the_stream(self, rig):
+        def body(client):
+            try:
+                yield client.fetch_chunk(123_456, 7)
+            except TransportError as exc:
+                return str(exc)
+
+        msg = run_client(rig, body)
+        assert "123456" in msg.replace("_", "")
+
+    def test_invalidated_streams_report_the_reason(self, rig):
+        env, context, streams, rpc, client_loop, server_loop = rig
+        sid = streams.register_stream(lambda idx, n: (idx, 100))
+        streams.invalidate_all("executor shutting down")
+
+        def body(client):
+            try:
+                yield client.fetch_chunk(sid, 0)
+            except TransportError as exc:
+                return str(exc)
+
+        assert "executor shutting down" in run_client(rig, body)
+
+    def test_channel_close_fails_outstanding_futures(self, rig):
+        env, context, streams, rpc, client_loop, server_loop = rig
+        # A stream the server will never finish serving in time: close the
+        # channel right after issuing the fetch, before the response lands.
+        sid = streams.register_stream(lambda idx, n: (idx, 64 << 20))
+
+        def body(client):
+            fut = client.fetch_chunk(sid, 0)
+            client.channel.close()
+            try:
+                yield fut
+            except TransportError as exc:
+                return str(exc)
+
+        assert "closed" in run_client(rig, body)
+
+    def test_pipeline_exception_fails_outstanding_futures(self, rig):
+        env, context, streams, rpc, client_loop, server_loop = rig
+        sid = streams.register_stream(lambda idx, n: (idx, 64 << 20))
+
+        def body(client):
+            fut = client.fetch_chunk(sid, 0)
+            client.channel.pipeline.fire_exception_caught(RuntimeError("boom"))
+            try:
+                yield fut
+            except TransportError as exc:
+                return str(exc)
+
+        assert "boom" in run_client(rig, body)
