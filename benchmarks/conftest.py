@@ -9,11 +9,15 @@ run). EXPERIMENTS.md records paper-scale results.
 
 from __future__ import annotations
 
+import json
 import os
+import pathlib
 
 import pytest
 
 FULL = os.environ.get("REPRO_FULL", "0") == "1"
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
 
 # (worker counts, task-folding fidelity) per mode.
 OHB_WORKERS = (8, 16, 32) if FULL else (2, 4, 8)
@@ -36,3 +40,45 @@ def mode():
 def run_once(benchmark, fn, *args, **kwargs):
     """Run an expensive simulation exactly once under pytest-benchmark."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def write_bench_json(figure: str, payload: dict) -> pathlib.Path:
+    """Write ``results/BENCH_<figure>.json`` (machine-readable bench output).
+
+    One file per figure, rewritten on every run, deterministic key order —
+    diffing two files from two PRs shows the perf trajectory directly.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{figure}.json"
+    payload = {"figure": figure, "full_geometry": FULL, **payload}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def ohb_payload(cells) -> dict:
+    """OhbCell list -> JSON-able rows (timings + key metric rollups)."""
+    from repro.obs import iprobe_calls, loop_busy_fraction, polling_tax_seconds
+
+    rows = []
+    for c in cells:
+        row = {
+            "workload": c.workload,
+            "n_workers": c.n_workers,
+            "total_cores": c.total_cores,
+            "data_bytes": c.data_bytes,
+            "transport": c.transport,
+            "total_seconds": c.total_seconds,
+            "stage_seconds": dict(c.result.stage_seconds),
+        }
+        snap = c.result.metrics
+        if snap is not None:
+            row["metrics"] = {
+                "n_metrics": len(snap),
+                "polling_tax_s": polling_tax_seconds(snap),
+                "loop_busy_fraction": loop_busy_fraction(snap),
+                "iprobe_calls": iprobe_calls(snap),
+                "remote_fetch_bytes": snap.total("spark.scheduler.remote_fetch_bytes"),
+                "fetch_wait_s": snap.total("spark.scheduler.fetch_wait_s"),
+            }
+        rows.append(row)
+    return {"cells": rows}

@@ -14,7 +14,14 @@ runs 8/16/32 workers.
 
 import pytest
 
-from benchmarks.conftest import FULL, OHB_FIDELITY, OHB_WORKERS, run_once
+from benchmarks.conftest import (
+    FULL,
+    OHB_FIDELITY,
+    OHB_WORKERS,
+    ohb_payload,
+    run_once,
+    write_bench_json,
+)
 from repro.harness.experiments import _run_ohb, fig10_weak_scaling
 from repro.harness.report import ohb_speedups, render_ohb
 from repro.util.units import GiB
@@ -99,3 +106,8 @@ class TestFig10Shape:
             if c.workload == "GroupByTest" and c.transport == "mpi-opt"
         )
         assert times[-1][1] < times[0][1] * 2.5
+
+
+def test_fig10_bench_json(cells):
+    path = write_bench_json("fig10_weak_scaling", ohb_payload(cells))
+    assert path.exists()

@@ -8,7 +8,14 @@ REPRO_FULL=1 runs the paper geometry.
 
 import pytest
 
-from benchmarks.conftest import FULL, OHB_FIDELITY, OHB_WORKERS, run_once
+from benchmarks.conftest import (
+    FULL,
+    OHB_FIDELITY,
+    OHB_WORKERS,
+    ohb_payload,
+    run_once,
+    write_bench_json,
+)
 from repro.harness.experiments import _run_ohb, fig11_strong_scaling
 from repro.harness.report import ohb_speedups, render_ohb
 from repro.util.units import GiB
@@ -76,3 +83,8 @@ class TestFig11Shape:
             by.setdefault((c.workload, c.n_workers), {})[c.transport] = c.total_seconds
         for key, per_t in by.items():
             assert per_t["mpi-opt"] == min(per_t.values()), key
+
+
+def test_fig11_bench_json(cells):
+    path = write_bench_json("fig11_strong_scaling", ohb_payload(cells))
+    assert path.exists()

@@ -8,7 +8,7 @@ GMM 1.09x, SVM 1.16x, Repartition 1.48x.
 
 import pytest
 
-from benchmarks.conftest import FULL, HIBENCH_FIDELITY, run_once
+from benchmarks.conftest import FULL, HIBENCH_FIDELITY, run_once, write_bench_json
 from repro.harness.experiments import fig12_hibench
 from repro.harness.report import hibench_speedups, render_fig12
 from repro.harness.systems import FRONTERA
@@ -80,3 +80,21 @@ class TestFig12Shape:
         speedups = hibench_speedups(cells)
         entry = speedups[("Frontera", "LDA")]
         assert 1.0 < entry["mpi_vs_rdma"] < entry["mpi_vs_vanilla"]
+
+
+def test_fig12_bench_json(cells):
+    path = write_bench_json(
+        "fig12_hibench",
+        {
+            "cells": [
+                {
+                    "workload": c.workload,
+                    "system": c.system,
+                    "transport": c.transport,
+                    "total_seconds": c.total_seconds,
+                }
+                for c in cells
+            ]
+        },
+    )
+    assert path.exists()

@@ -7,7 +7,7 @@ message sizes) and checks the headline ratio.
 
 import pytest
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import run_once, write_bench_json
 from repro.harness.experiments import FIG8_LARGE_SIZES, FIG8_SMALL_SIZES, fig8_pingpong
 from repro.harness.report import render_fig8
 from repro.util.units import MiB
@@ -54,3 +54,16 @@ class TestFig8Shape:
             sizes = sorted(curve.latency_s)
             lats = [curve.latency_s[s] for s in sizes]
             assert lats == sorted(lats)
+
+
+def test_fig8_bench_json(results):
+    path = write_bench_json(
+        "fig8_pingpong",
+        {
+            "curves": {
+                name: {str(size): lat for size, lat in sorted(curve.latency_s.items())}
+                for name, curve in results.items()
+            }
+        },
+    )
+    assert path.exists()

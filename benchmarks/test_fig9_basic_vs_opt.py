@@ -8,9 +8,10 @@ hence starving the actual compute tasks." GroupByTest and SortByTest at
 
 import pytest
 
-from benchmarks.conftest import OHB_FIDELITY, run_once
+from benchmarks.conftest import OHB_FIDELITY, ohb_payload, run_once, write_bench_json
 from repro.harness.experiments import _run_ohb
 from repro.harness.report import render_ohb
+from repro.obs import polling_tax_seconds
 from repro.util.units import GiB
 from repro.workloads.ohb import GROUP_BY, SORT_BY
 
@@ -75,3 +76,22 @@ class TestFig9Shape:
             basic.result.shuffle_read_seconds()
             < vanilla.result.shuffle_read_seconds()
         )
+
+    @pytest.mark.parametrize("workload", ["GroupByTest", "SortByTest"])
+    def test_measured_polling_tax_basic_vs_opt(self, cells, workload):
+        # Sec VI-D made measurable: Basic's selectNow+MPI_Iprobe spin burns
+        # real CPU seconds; Optimized parks in select and pays ~none.
+        basic = polling_tax_seconds(self._by(cells, workload, "mpi-basic").result.metrics)
+        opt = polling_tax_seconds(self._by(cells, workload, "mpi-opt").result.metrics)
+        assert basic > 0.0
+        assert basic >= 10.0 * opt
+
+
+def test_fig9_bench_json(cells):
+    path = write_bench_json("fig9_basic_vs_optimized", ohb_payload(cells))
+    import json
+
+    payload = json.loads(path.read_text())
+    assert payload["cells"] and all(
+        row["total_seconds"] > 0 for row in payload["cells"]
+    )

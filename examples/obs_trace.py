@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Observability quickstart: trace a GroupByTest run, export Chrome JSON.
+
+Runs one 4 GiB GroupByTest cell on 2 simulated Frontera workers with
+MPI4Spark-Optimized, metrics + tracing enabled via SparkConf, then:
+
+* prints the Spark-UI-style text timeline (stage + task spans),
+* prints key metric rollups (polling tax, loop busy %, fetch wait),
+* writes ``results/groupby_trace.json`` — open it in ``chrome://tracing``
+  or https://ui.perfetto.dev to browse the run span by span.
+
+Run:  python examples/obs_trace.py
+"""
+
+import pathlib
+
+from repro.harness.systems import FRONTERA
+from repro.obs import iprobe_calls, loop_busy_fraction, polling_tax_seconds
+from repro.spark.conf import SparkConf
+from repro.spark.deploy import SparkSimCluster
+from repro.util.units import GiB, fmt_time
+from repro.workloads.ohb import GROUP_BY
+
+OUT = pathlib.Path(__file__).resolve().parent.parent / "results" / "groupby_trace.json"
+
+
+def main() -> None:
+    conf = SparkConf(
+        {
+            "spark.repro.transport": "mpi-opt",
+            "spark.repro.obs.enabled": "true",
+            "spark.repro.obs.trace": "true",
+        }
+    )
+    n_workers, data = 2, 4 * GiB
+    sim = SparkSimCluster.from_conf(FRONTERA, n_workers, conf)
+    sim.launch()
+    profile = GROUP_BY.build_profile(FRONTERA, n_workers, data, fidelity=0.1)
+    result = sim.run_profile(profile)
+    sim.shutdown()
+
+    print(f"GroupByTest {data >> 30} GiB / {n_workers} workers / "
+          f"{sim.transport.name}: {fmt_time(result.total_seconds)} total\n")
+    print(sim.env.tracer.render_timeline())
+
+    snap = result.metrics
+    print(f"\nmetrics: {len(snap)} series from one run")
+    print(f"  polling tax:     {fmt_time(polling_tax_seconds(snap))}")
+    print(f"  loop busy:       {100 * loop_busy_fraction(snap):.1f}%")
+    print(f"  MPI_Iprobe:      {iprobe_calls(snap):.0f} calls")
+    print(f"  fetch wait:      {fmt_time(snap.total('spark.scheduler.fetch_wait_s'))}")
+    print(f"  remote fetched:  {snap.total('spark.scheduler.remote_fetch_bytes') / GiB:.2f} GiB")
+
+    OUT.parent.mkdir(exist_ok=True)
+    sim.env.tracer.write(OUT)
+    print(f"\nChrome trace: {OUT}")
+    print("open chrome://tracing (or https://ui.perfetto.dev) and load it")
+
+
+if __name__ == "__main__":
+    main()

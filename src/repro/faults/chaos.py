@@ -112,6 +112,7 @@ def run_scenario(scenario: ChaosScenario) -> AvailabilityReport:
     sched = ResilientScheduler(sim, scenario.policy)
     result = sched.run_profile(scenario.build_profile(), scenario.deadline_s)
     report.baseline_seconds = result.total_seconds
+    baseline_snap = sim.env.metrics.snapshot()
     sim.shutdown()
 
     # -- faulted: identical cluster, injector armed at the read stage -------
@@ -142,5 +143,11 @@ def run_scenario(scenario: ChaosScenario) -> AvailabilityReport:
         # world-abort surfacing through an event loop).
         report.job_failure = f"{type(exc).__name__}: {exc}"
     report.faulted_seconds = sim.env.now - t0
+    # What the faults cost, counter by counter: extra tasks run, extra MPI
+    # traffic, extra polling. Both runs share a seed, so nonzero deltas are
+    # attributable to the injected faults (plus recovery work).
+    faulted_snap = sim.env.metrics.snapshot()
+    for pattern in ("spark.scheduler.*", "mpi.world.*", "netty.loop.*.poll_tax_s"):
+        report.metric_deltas.update(faulted_snap.delta(baseline_snap, pattern))
     sim.shutdown()
     return report

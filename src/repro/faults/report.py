@@ -45,6 +45,9 @@ class AvailabilityReport:
     job_failure: str = ""
     baseline_seconds: float = 0.0
     faulted_seconds: float = 0.0
+    # Counter-wise faulted-minus-baseline diffs for the scheduler/retry
+    # metrics (repro.obs); zero deltas are dropped before they get here.
+    metric_deltas: dict[str, float] = field(default_factory=dict)
 
     @property
     def recovery_seconds(self) -> float:
@@ -83,6 +86,12 @@ class AvailabilityReport:
                 f"  recovery overhead:   {self.recovery_seconds:.6f}s",
             ]
         )
+        if self.metric_deltas:
+            lines.append("metric deltas (faulted - baseline):")
+            lines.extend(
+                f"  {name:<36} {delta:+.6f}"
+                for name, delta in sorted(self.metric_deltas.items())
+            )
         return "\n".join(lines)
 
 

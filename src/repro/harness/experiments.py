@@ -51,7 +51,9 @@ def _run_ohb(
     fidelity: float,
     system=FRONTERA,
 ) -> OhbCell:
-    sim = SparkSimCluster(system, n_workers, transport)
+    # Observability on: cells carry a MetricsSnapshot so reports can show
+    # measured polling tax / event-loop busy fractions (Sec. VI-D).
+    sim = SparkSimCluster(system, n_workers, transport, obs_enabled=True)
     sim.launch()
     profile = workload.build_profile(system, n_workers, data_bytes, fidelity=fidelity)
     result = sim.run_profile(profile)

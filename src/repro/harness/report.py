@@ -7,6 +7,7 @@ from typing import Iterable, Sequence
 
 from repro.harness.experiments import HiBenchCell, OhbCell
 from repro.harness.pingpong import PingPongResult
+from repro.obs import loop_busy_fraction, polling_tax_seconds
 from repro.util.units import fmt_bytes, fmt_time
 
 LEGEND = {"nio": "IPoIB", "rdma": "RDMA", "mpi-opt": "MPI", "mpi-basic": "MPI-Basic"}
@@ -76,6 +77,12 @@ def render_ohb(cells: Iterable[OhbCell], title: str) -> str:
             for label, secs in cell.result.stage_seconds.items():
                 row[label] = fmt_time(secs)
             row["Total"] = fmt_time(cell.total_seconds)
+            snap = cell.result.metrics
+            if snap is not None:
+                # Measured CPU seconds burned in selectNow+MPI_Iprobe spins
+                # (Sec. VI-D) and the event loops' mean busy fraction.
+                row["Poll tax"] = fmt_time(polling_tax_seconds(snap))
+                row["Loop busy"] = f"{100.0 * loop_busy_fraction(snap):.1f}%"
             if "nio" in per_t and transport != "nio":
                 row["vs IPoIB"] = (
                     f"{per_t['nio'].total_seconds / cell.total_seconds:.2f}x"

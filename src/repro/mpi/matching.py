@@ -35,6 +35,7 @@ class PostedRecv:
     tag: int
     context_id: int
     request: Request
+    posted_at: float = 0.0
 
 
 class MatchingEngine:
@@ -50,6 +51,7 @@ class MatchingEngine:
         self,
         env: "SimEngine",
         on_match: Callable[[Envelope, PostedRecv, bool], None],
+        name: str | None = None,
     ) -> None:
         self.env = env
         self.on_match = on_match
@@ -60,6 +62,25 @@ class MatchingEngine:
         self.n_unexpected_matches = 0
         self.n_posted_matches = 0
         self.n_iprobe_calls = 0
+        # Registry metrics (repro.obs), rank-scoped when the owner gave us
+        # a name (MPIProcess does; anonymous engines in unit tests don't).
+        m = env.metrics
+        prefix = f"mpi.rank.{name}" if name else "mpi.rank.anon"
+        self._c_iprobe = m.counter(f"{prefix}.iprobe_calls")
+        self._c_posted_matches = m.counter(f"{prefix}.posted_matches")
+        self._c_unexpected_matches = m.counter(f"{prefix}.unexpected_matches")
+        self._g_unexpected_depth = m.time_gauge(f"{prefix}.unexpected_depth")
+        self._h_recv_wait = m.histogram(f"{prefix}.recv_match_wait_s")
+        self._h_unexpected_wait = m.histogram(f"{prefix}.unexpected_wait_s")
+        self._arrived_at: dict[int, float] = {}
+        # The match counters are published from the plain ints above at
+        # snapshot time: iprobe is on the Basic design's busy-poll path.
+        m.on_snapshot(self._publish_metrics)
+
+    def _publish_metrics(self) -> None:
+        self._c_iprobe.value = float(self.n_iprobe_calls)
+        self._c_posted_matches.value = float(self.n_posted_matches)
+        self._c_unexpected_matches.value = float(self.n_unexpected_matches)
 
     # -- arrivals ----------------------------------------------------------
     def deliver(self, env_msg: Envelope) -> None:
@@ -69,25 +90,35 @@ class MatchingEngine:
                 # matched a pre-posted receive: fast path, no extra copy
                 self.posted.remove(posted)
                 self.n_posted_matches += 1
+                self._h_recv_wait.observe(self.env.now - posted.posted_at)
                 self.on_match(env_msg, posted, False)
                 return
         self.unexpected.append(env_msg)
+        self._arrived_at[id(env_msg)] = self.env.now
+        self._g_unexpected_depth.set(len(self.unexpected))
         self._wake_probes(env_msg)
 
     # -- receives ----------------------------------------------------------
     def post_recv(self, source: int, tag: int, context_id: int, request: Request) -> None:
         """Post a receive; matches the oldest queued envelope if any."""
+        now = self.env.now
         for env_msg in self.unexpected:
             if env_msg.matches(source, tag, context_id):
                 self.unexpected.remove(env_msg)
                 self.n_unexpected_matches += 1
+                self._g_unexpected_depth.set(len(self.unexpected))
+                arrived = self._arrived_at.pop(id(env_msg), now)
+                self._h_unexpected_wait.observe(now - arrived)
+                self._h_recv_wait.observe(0.0)
                 self.on_match(
                     env_msg,
-                    PostedRecv(source, tag, context_id, request),
+                    PostedRecv(source, tag, context_id, request, posted_at=now),
                     True,  # came off the unexpected queue → buffered copy
                 )
                 return
-        self.posted.append(PostedRecv(source, tag, context_id, request))
+        self.posted.append(
+            PostedRecv(source, tag, context_id, request, posted_at=now)
+        )
 
     # -- probes ------------------------------------------------------------
     def iprobe(
@@ -126,6 +157,16 @@ class MatchingEngine:
             elif not ev.triggered:
                 remaining.append((source, tag, ctx, ev))
         self._probe_waiters = remaining
+
+    def drop_unexpected(self) -> None:
+        """Discard every queued envelope (rank death / world abort).
+
+        Clearing the arrival stamps alongside the queue keeps the
+        id()-keyed wait-time bookkeeping from matching a recycled object.
+        """
+        self.unexpected.clear()
+        self._arrived_at.clear()
+        self._g_unexpected_depth.set(0)
 
     # -- failure propagation ------------------------------------------------
     def fail_posted(

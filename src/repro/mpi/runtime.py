@@ -48,7 +48,7 @@ class MPIProcess:
         self.name = name
         self.env = world.env
         self.alive = True
-        self.matching = MatchingEngine(world.env, self._on_match)
+        self.matching = MatchingEngine(world.env, self._on_match, name=name)
         self.comm_world: Intracomm | None = None  # set by launch/spawn
         self.parent_comm: Intercomm | None = None  # set for DPM children
         self.sim_process = None  # the kernel Process running main()
@@ -115,13 +115,16 @@ class MPIProcess:
         size = sizeof(payload) if nbytes is None else int(nbytes)
         yield self.env.timeout(model.sender_cpu_time(size))
         self._check_sendable(dst_gid)  # peer may have died during overhead
+        self.world._c_send_bytes.inc(size)
         if size <= model.rendezvous_threshold:
+            self.world._c_send_eager.inc()
             envl = Envelope(
                 self.gid, src_rank, dst_gid, context_id, tag, payload, size,
                 Protocol.EAGER,
             )
             self.world._route(envl)
             return
+        self.world._c_send_rendezvous.inc()
         done = self.env.event()
         envl = Envelope(
             self.gid, src_rank, dst_gid, context_id, tag, payload, size,
@@ -320,6 +323,11 @@ class MPIWorld:
         self._procs: dict[int, MPIProcess] = {}
         self._pipes: dict[tuple[int, int], _Pipe] = {}
         cluster.link_state.on_change(self._on_link_event)
+        # World-level traffic counters (repro.obs).
+        m = env.metrics
+        self._c_send_eager = m.counter("mpi.world.sends_eager")
+        self._c_send_rendezvous = m.counter("mpi.world.sends_rendezvous")
+        self._c_send_bytes = m.counter("mpi.world.send_bytes")
 
     # -- registry ------------------------------------------------------------
     def process(self, gid: int) -> MPIProcess:
@@ -359,7 +367,7 @@ class MPIWorld:
         for envl in proc.matching.unexpected:
             if envl.send_done is not None and not envl.send_done.triggered:
                 envl.send_done.fail(exc_factory())
-        proc.matching.unexpected.clear()
+        proc.matching.drop_unexpected()
 
     def _abort_world(self, reason: str) -> None:
         if self.aborted:

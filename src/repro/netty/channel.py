@@ -55,6 +55,9 @@ class Channel:
         self.alloc = PooledByteBufAllocator()
         self.attributes: dict[str, Any] = {}
         self.active = True
+        m = event_loop.env.metrics
+        self._c_socket_messages = m.counter("transport.socket.messages")
+        self._c_socket_bytes = m.counter("transport.socket.bytes")
 
     # -- addressing ---------------------------------------------------------
     @property
@@ -78,7 +81,10 @@ class Channel:
 
     def _transport_write(self, msg: Any, promise: "Event") -> None:
         """Default NIO transport: everything goes over the Java socket."""
-        self.socket.send(msg, self._wire_size(msg))
+        nbytes = self._wire_size(msg)
+        self.socket.send(msg, nbytes)
+        self._c_socket_messages.inc()
+        self._c_socket_bytes.inc(nbytes)
         if not promise.triggered:
             promise.succeed()
 

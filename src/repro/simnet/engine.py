@@ -47,6 +47,15 @@ class SimEngine:
         # substream off this so one seed reproduces the whole simulation.
         self.seed = int(seed)
         self.rng = SeededRng(self.seed)
+        # Observability (repro.obs): the registry is always live — its
+        # counters are cheap enough to leave on — while span tracing stays
+        # the shared no-op until a run opts in (spark.repro.obs.trace),
+        # which swaps in a real Tracer.
+        from repro.obs.registry import MetricsRegistry
+        from repro.obs.tracer import NULL_TRACER
+
+        self.metrics = MetricsRegistry(self)
+        self.tracer = NULL_TRACER
 
     # -- scheduling ----------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
@@ -115,9 +124,13 @@ class SimEngine:
                 if not event._ok:
                     raise event._value
                 return event._value
-        if stop_event is not None and not stop_event.triggered:
-            raise SimError("run(until=event): schedule drained before event fired")
         if stop_event is not None:
+            # Reached when the loop broke (event already processed) or the
+            # schedule drained; the in-loop pop of the event returns above.
+            if not stop_event.triggered:
+                raise SimError(
+                    "run(until=event): schedule drained before event fired"
+                )
             if not stop_event._ok:
                 raise stop_event._value
             return stop_event._value

@@ -61,6 +61,9 @@ class FluidNetwork:
         self.link_flows: dict[Hashable, set[int]] = {}
         self.link_caps: dict[Hashable, float] = {}
         self.completed = 0
+        # Time-weighted concurrency of bulk transfers (repro.obs).
+        self._g_active = env.metrics.time_gauge("simnet.fluid.active_flows")
+        self._c_flow_bytes = env.metrics.counter("simnet.fluid.flow_bytes")
 
     # -- public API ----------------------------------------------------------
     def transfer(self, links: list[tuple[Hashable, float]], nbytes: float) -> "Event":
@@ -87,6 +90,8 @@ class FluidNetwork:
         flow = Flow(tuple(keys), nbytes, done)
         flow.last = self.env.now
         self.flows[flow.fid] = flow
+        self._g_active.set(len(self.flows))
+        self._c_flow_bytes.inc(nbytes)
         affected = self._affected(keys)
         for key in keys:
             self.link_flows[key].add(flow.fid)
@@ -116,6 +121,7 @@ class FluidNetwork:
                 self.link_flows[key].discard(flow.fid)
             flow.gen += 1  # stale completion timers become no-ops
             flow.done.fail(exc_factory())
+        self._g_active.set(len(self.flows))
         if victims:
             affected: set[int] = set()
             for flow in victims:
@@ -187,6 +193,7 @@ class FluidNetwork:
         for key in flow.links:
             self.link_flows[key].discard(flow.fid)
         self.completed += 1
+        self._g_active.set(len(self.flows))
         flow.done.succeed()
         # Freed capacity speeds up the neighbours.
         self._rerate(self._affected(flow.links))

@@ -152,6 +152,22 @@ class SimNode:
         self.tx = Resource(env, capacity=nic_lanes)
         self.rx = Resource(env, capacity=nic_lanes)
         self.nic_stats = NicStats()
+        # Registry mirror of nic_stats: per-link (node direction) traffic.
+        # Published lazily at snapshot time so the wire path only pays the
+        # plain-int NicStats adds per message.
+        m = env.metrics
+        self._c_tx_bytes = m.counter(f"simnet.link.{name}.tx_bytes")
+        self._c_rx_bytes = m.counter(f"simnet.link.{name}.rx_bytes")
+        self._c_tx_messages = m.counter(f"simnet.link.{name}.tx_messages")
+        self._c_rx_messages = m.counter(f"simnet.link.{name}.rx_messages")
+        m.on_snapshot(self._publish_metrics)
+
+    def _publish_metrics(self) -> None:
+        ns = self.nic_stats
+        self._c_tx_bytes.value = float(ns.tx_bytes)
+        self._c_rx_bytes.value = float(ns.rx_bytes)
+        self._c_tx_messages.value = float(ns.tx_messages)
+        self._c_rx_messages.value = float(ns.rx_messages)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<SimNode {self.name} cores={self.cores.capacity}>"
@@ -232,6 +248,17 @@ class SimCluster:
             | None
         ) = None
         self.fault_stats = {"dropped": 0, "corrupted": 0, "delayed": 0}
+        # Per-wire-model elapsed-time histograms, cached so the per-message
+        # hot path avoids registry name lookups. Byte totals are published
+        # from the NetTrace aggregates at snapshot time instead of being
+        # counted per message.
+        self._wire_histograms: dict[str, Any] = {}
+        env.metrics.on_snapshot(self._publish_metrics)
+
+    def _publish_metrics(self) -> None:
+        m = self.env.metrics
+        for name, nbytes in self.trace.bytes_by_model.items():
+            m.counter(f"simnet.wire.{name}.bytes").value = float(nbytes)
 
     def _on_link_event(self, kind: str, payload: Any) -> None:
         if kind != "node-failed":
@@ -350,6 +377,11 @@ class SimCluster:
         dst.nic_stats.rx_bytes += nbytes
         dst.nic_stats.rx_messages += 1
         elapsed = env.now - start
+        hist = self._wire_histograms.get(model.name)
+        if hist is None:
+            hist = env.metrics.histogram(f"simnet.wire.{model.name}.elapsed_s")
+            self._wire_histograms[model.name] = hist
+        hist.observe(elapsed)
         self.trace.record(model, src, dst, nbytes, elapsed)
         return elapsed
 

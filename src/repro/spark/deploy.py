@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Generator
+from typing import TYPE_CHECKING, Any, Generator
 
 import numpy as np
 
@@ -55,6 +55,9 @@ from repro.spark.network import (
 )
 from repro.transports import make_transport
 from repro.util.units import MiB, US
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.registry import MetricsSnapshot
 
 SHUFFLE_PORT_BASE = 7400
 
@@ -168,6 +171,18 @@ class SimExecutor:
         self.bytes_read_local = 0
         # Cleared by the recovery scheduler when this executor's node dies.
         self.alive = True
+        # Cluster-wide scheduler metrics (get-or-create: all executors
+        # aggregate into the same counters), mirroring Spark's
+        # shuffle-read/task metrics.
+        m = sim.env.metrics
+        self._c_tasks = m.counter("spark.scheduler.tasks_finished")
+        self._c_compute = m.counter("spark.scheduler.compute_s")
+        self._c_write = m.counter("spark.scheduler.write_s")
+        self._c_fetch_wait = m.counter("spark.scheduler.fetch_wait_s")
+        self._c_combine = m.counter("spark.scheduler.combine_s")
+        self._c_remote_bytes = m.counter("spark.scheduler.remote_fetch_bytes")
+        self._c_local_bytes = m.counter("spark.scheduler.local_read_bytes")
+        self._h_fetch_wait = m.histogram("spark.scheduler.task_fetch_wait_s")
 
     @property
     def address(self) -> SocketAddress:
@@ -278,29 +293,40 @@ class SimExecutor:
                 size, blk, src = pending.pop(future)
                 in_flight -= size
                 self.bytes_fetched_remote += size
+                self._c_remote_bytes.inc(size)
                 if blk > 1:
                     yield env.timeout((blk - 1) * PER_BLOCK_CLIENT_S)
 
     # -- task runners -------------------------------------------------------------
-    def run_compute_task(self, seconds: float) -> Generator:
+    def run_compute_task(self, seconds: float, label: str = "compute") -> Generator:
         req = self.slots.request()
         yield req
         try:
-            yield self.sim.env.timeout(
-                TASK_SCHED_DELAY_S + seconds * self.sim.transport.compute_inflation
-            )
+            with self.sim.env.tracer.span(
+                label, cat="task", track=f"exec{self.exec_id}"
+            ):
+                compute = seconds * self.sim.transport.compute_inflation
+                yield self.sim.env.timeout(TASK_SCHED_DELAY_S + compute)
+                self._c_compute.inc(compute)
+                self._c_tasks.inc()
         finally:
             self.slots.release(req)
 
-    def run_write_task(self, seconds: float, write_bytes: float) -> Generator:
+    def run_write_task(
+        self, seconds: float, write_bytes: float, label: str = "write"
+    ) -> Generator:
         req = self.slots.request()
         yield req
         try:
-            yield self.sim.env.timeout(
-                TASK_SCHED_DELAY_S
-                + seconds * self.sim.transport.compute_inflation
-                + write_bytes / RAMDISK_WRITE_BPS
-            )
+            with self.sim.env.tracer.span(
+                label, cat="task", track=f"exec{self.exec_id}"
+            ):
+                compute = seconds * self.sim.transport.compute_inflation
+                write = write_bytes / RAMDISK_WRITE_BPS
+                yield self.sim.env.timeout(TASK_SCHED_DELAY_S + compute + write)
+                self._c_compute.inc(compute)
+                self._c_write.inc(write)
+                self._c_tasks.inc()
         finally:
             self.slots.release(req)
 
@@ -309,26 +335,39 @@ class SimExecutor:
         fetch_bytes: np.ndarray,
         blocks: np.ndarray,
         combine_seconds: float,
+        label: str = "read",
     ) -> Generator:
         req = self.slots.request()
         yield req
         try:
-            yield self.sim.env.timeout(TASK_SCHED_DELAY_S)
-            # Local blocks: straight off the RAM disk.
-            local = float(fetch_bytes[self.exec_id])
-            if local > 0:
-                self.bytes_read_local += int(local)
-                yield self.sim.env.timeout(local / RAMDISK_READ_BPS)
-            # Remote blocks: through the transport under test.
-            sources = [
-                (src, int(fetch_bytes[src.exec_id]), int(blocks[src.exec_id]))
-                for src in self.sim.executors
-                if src.exec_id != self.exec_id and fetch_bytes[src.exec_id] > 0
-            ]
-            yield from self.fetch_shuffle(sources)
-            yield self.sim.env.timeout(
-                combine_seconds * self.sim.transport.compute_inflation
-            )
+            with self.sim.env.tracer.span(
+                label, cat="task", track=f"exec{self.exec_id}"
+            ) as span:
+                yield self.sim.env.timeout(TASK_SCHED_DELAY_S)
+                # Fetch wait mirrors Spark's shuffle-read "fetch wait time":
+                # everything between scheduling and the first combine byte.
+                t_fetch = self.sim.env.now
+                # Local blocks: straight off the RAM disk.
+                local = float(fetch_bytes[self.exec_id])
+                if local > 0:
+                    self.bytes_read_local += int(local)
+                    self._c_local_bytes.inc(local)
+                    yield self.sim.env.timeout(local / RAMDISK_READ_BPS)
+                # Remote blocks: through the transport under test.
+                sources = [
+                    (src, int(fetch_bytes[src.exec_id]), int(blocks[src.exec_id]))
+                    for src in self.sim.executors
+                    if src.exec_id != self.exec_id and fetch_bytes[src.exec_id] > 0
+                ]
+                yield from self.fetch_shuffle(sources)
+                fetch_wait = self.sim.env.now - t_fetch
+                self._c_fetch_wait.inc(fetch_wait)
+                self._h_fetch_wait.observe(fetch_wait)
+                combine = combine_seconds * self.sim.transport.compute_inflation
+                yield self.sim.env.timeout(combine)
+                self._c_combine.inc(combine)
+                self._c_tasks.inc()
+                span.annotate(fetch_wait_s=fetch_wait, combine_s=combine)
         finally:
             self.slots.release(req)
 
@@ -344,6 +383,9 @@ class RunResult:
     total_cores: int
     stage_seconds: dict[str, float] = field(default_factory=dict)
     launch_seconds: float = 0.0
+    # End-of-run metrics snapshot; populated when the cluster ran with
+    # observability enabled (``spark.repro.obs.enabled``).
+    metrics: "MetricsSnapshot | None" = None
 
     @property
     def total_seconds(self) -> float:
@@ -371,6 +413,8 @@ class SparkSimCluster:
         io_threads: int = 8,
         seed: int = 0,
         mpi_fault_mode: str = "abort",
+        obs_enabled: bool = False,
+        obs_trace: bool = False,
     ) -> None:
         if n_workers < 1:
             raise ValueError("need at least one worker")
@@ -379,7 +423,13 @@ class SparkSimCluster:
         self.io_threads = io_threads
         self.seed = int(seed)
         self.mpi_fault_mode = mpi_fault_mode
+        self.obs_enabled = obs_enabled or obs_trace
+        self.obs_trace = obs_trace
         self.env = SimEngine(seed=seed)
+        if obs_trace:
+            from repro.obs.tracer import Tracer
+
+            self.env.tracer = Tracer(self.env)
         # workers on nodes [0, W); master on node W; driver on node W+1.
         self.cluster = SimCluster(
             self.env,
@@ -395,6 +445,29 @@ class SparkSimCluster:
         self.executors: list[SimExecutor] = []
         self.launch_seconds = 0.0
         self._launched = False
+
+    @classmethod
+    def from_conf(
+        cls, system: SystemConfig, n_workers: int, conf, **overrides
+    ) -> "SparkSimCluster":
+        """Build a cluster from a :class:`~repro.spark.conf.SparkConf`.
+
+        Reads the transport, seed, MPI fault mode and the observability
+        switches (``spark.repro.obs.enabled`` / ``spark.repro.obs.trace``);
+        keyword overrides win over conf values.
+        """
+        from repro.obs import obs_from_conf
+
+        obs_enabled, obs_trace = obs_from_conf(conf)
+        kwargs: dict[str, Any] = dict(
+            transport_name=str(conf.get("spark.repro.transport", "nio")),
+            seed=conf.get_int("spark.repro.seed", 0),
+            mpi_fault_mode=str(conf.get("spark.repro.mpi.faultMode", "abort")),
+            obs_enabled=obs_enabled,
+            obs_trace=obs_trace,
+        )
+        kwargs.update(overrides)
+        return cls(system, n_workers, **kwargs)
 
     # -- cluster bring-up ---------------------------------------------------------
     def launch(self) -> None:
@@ -479,10 +552,15 @@ class SparkSimCluster:
         )
         for stage in profile.stages:
             t0 = self.env.now
-            tasks = self._spawn_stage_tasks(stage)
-            finished = self.env.all_of(tasks)
-            self.env.run(until=finished)
+            with self.env.tracer.span(
+                stage.label, cat="stage", track="driver", n_tasks=stage.n_tasks
+            ):
+                tasks = self._spawn_stage_tasks(stage)
+                finished = self.env.all_of(tasks)
+                self.env.run(until=finished)
             result.stage_seconds[stage.label] = self.env.now - t0
+        if self.obs_enabled:
+            result.metrics = self.env.metrics.snapshot()
         return result
 
     def _spawn_stage_tasks(self, stage) -> list:
@@ -490,18 +568,23 @@ class SparkSimCluster:
         n_exec = len(self.executors)
         for t in range(stage.n_tasks):
             ex = self.executors[t % n_exec]
+            task_label = f"{stage.label}-task{t}"
             if isinstance(stage, ComputeStage):
-                gen = ex.run_compute_task(float(stage.seconds_per_task[t]))
+                gen = ex.run_compute_task(
+                    float(stage.seconds_per_task[t]), label=task_label
+                )
             elif isinstance(stage, ShuffleWriteStage):
                 gen = ex.run_write_task(
                     float(stage.seconds_per_task[t]),
                     float(stage.write_bytes_per_task[t]),
+                    label=task_label,
                 )
             elif isinstance(stage, ShuffleReadStage):
                 gen = ex.run_read_task(
                     stage.fetch_bytes[t],
                     stage.blocks[t],
                     float(stage.combine_seconds_per_task[t]),
+                    label=task_label,
                 )
             else:
                 raise TypeError(f"unknown stage type {type(stage)}")

@@ -107,6 +107,7 @@ class Summary:
     min: float
     p50: float
     p95: float
+    p99: float
     max: float
     total: float
 
@@ -122,6 +123,7 @@ def summarize(xs: Sequence[float]) -> Summary:
         min=stats.min,
         p50=percentile(xs, 50),
         p95=percentile(xs, 95),
+        p99=percentile(xs, 99),
         max=stats.max,
         total=stats.total,
     )

@@ -1,0 +1,151 @@
+"""Integration: metrics and traces from real simulated-cluster runs."""
+
+import json
+
+import pytest
+
+from repro.faults.chaos import make_chaos_profile
+from repro.harness.systems import INTERNAL_CLUSTER
+from repro.obs import (
+    iprobe_calls,
+    loop_busy_fraction,
+    obs_from_conf,
+    polling_tax_seconds,
+)
+from repro.spark.conf import SparkConf
+from repro.spark.deploy import SparkSimCluster
+
+
+def _run(transport, **kwargs):
+    sim = SparkSimCluster(
+        INTERNAL_CLUSTER, 2, transport, cores_per_executor=2, **kwargs
+    )
+    sim.launch()
+    result = sim.run_profile(make_chaos_profile(2, 2, shuffle_bytes=8 << 20))
+    sim.shutdown()
+    return sim, result
+
+
+class TestObsFromConf:
+    def test_defaults_off(self):
+        assert obs_from_conf(SparkConf()) == (False, False)
+
+    def test_enabled(self):
+        conf = SparkConf({"spark.repro.obs.enabled": "true"})
+        assert obs_from_conf(conf) == (True, False)
+
+    def test_trace_implies_enabled(self):
+        conf = SparkConf({"spark.repro.obs.trace": "true"})
+        assert obs_from_conf(conf) == (True, True)
+
+    def test_cluster_from_conf(self):
+        conf = SparkConf(
+            {"spark.repro.transport": "mpi-opt", "spark.repro.obs.trace": "true"}
+        )
+        sim = SparkSimCluster.from_conf(INTERNAL_CLUSTER, 2, conf)
+        assert sim.transport.name == "mpi-opt"
+        assert sim.obs_enabled and sim.obs_trace
+        assert sim.env.tracer.enabled
+
+
+class TestDisabledPath:
+    def test_no_snapshot_no_tracer_by_default(self):
+        sim, result = _run("nio")
+        assert result.metrics is None
+        assert not sim.env.tracer.enabled
+
+    def test_registry_still_counts_for_backcompat(self):
+        # EventLoop.iterations/messages_read are registry-backed properties
+        # and must keep counting even with obs off.
+        sim, _ = _run("nio")
+        loops = [loop for ex in sim.executors for loop in ex.loops.loops]
+        assert sum(loop.iterations for loop in loops) > 0
+        assert sum(loop.messages_read for loop in loops) > 0
+
+
+class TestEnabledRun:
+    @pytest.fixture(scope="class")
+    def run(self):
+        return _run("mpi-opt", obs_enabled=True)
+
+    def test_snapshot_attached(self, run):
+        _, result = run
+        assert result.metrics is not None
+        assert len(result.metrics) > 0
+
+    def test_metrics_from_at_least_four_layers(self, run):
+        _, result = run
+        snap = result.metrics
+        layers = [
+            "netty.loop.*",
+            "mpi.rank.*",
+            "simnet.link.*",
+            "spark.scheduler.*",
+            "transport.*",
+        ]
+        present = [p for p in layers if snap.names(p)]
+        assert len(present) >= 4, f"layers present: {present}"
+
+    def test_scheduler_phases_accounted(self, run):
+        _, result = run
+        snap = result.metrics
+        assert snap.value("spark.scheduler.tasks_finished") == 12  # 3 stages * 4
+        assert snap.value("spark.scheduler.compute_s") > 0
+        assert snap.value("spark.scheduler.write_s") > 0
+        assert snap.value("spark.scheduler.fetch_wait_s") > 0
+        assert "spark.scheduler.task_fetch_wait_s" in snap.histograms
+
+    def test_optimized_split_visible(self, run):
+        # The Optimized design's header-on-socket / body-over-MPI split.
+        _, result = run
+        snap = result.metrics
+        assert snap.total("transport.mpi-opt.header.bytes") > 0
+        assert snap.total("transport.mpi-opt.body.bytes") > 0
+        assert (
+            snap.total("transport.mpi-opt.body.bytes")
+            > snap.total("transport.mpi-opt.header.bytes")
+        )
+
+    def test_link_traffic_recorded(self, run):
+        _, result = run
+        snap = result.metrics
+        assert snap.total("simnet.link.*.tx_bytes") > 0
+        assert snap.total("simnet.link.*.rx_bytes") > 0
+
+
+class TestPollingTax:
+    def test_basic_pays_optimized_does_not(self):
+        _, basic = _run("mpi-basic", obs_enabled=True)
+        _, opt = _run("mpi-opt", obs_enabled=True)
+        tax_basic = polling_tax_seconds(basic.metrics)
+        tax_opt = polling_tax_seconds(opt.metrics)
+        assert tax_basic > 0.0
+        assert tax_basic >= 10.0 * tax_opt
+        assert iprobe_calls(basic.metrics) > 0
+        assert 0.0 < loop_busy_fraction(basic.metrics) < 1.0
+
+
+class TestTracedRun:
+    def test_stage_and_task_spans_export_valid_json(self, tmp_path):
+        sim, result = _run("mpi-opt", obs_trace=True)
+        assert result.metrics is not None  # trace implies enabled
+        tracer = sim.env.tracer
+        tracks = {s.track for s in tracer.spans}
+        assert "driver" in tracks
+        assert any(t.startswith("exec") for t in tracks)
+        cats = {s.cat for s in tracer.spans}
+        assert {"stage", "task"} <= cats
+        # every span closed by the run
+        assert all(s.end_s is not None for s in tracer.spans)
+        trace = json.loads(tracer.dumps())
+        assert trace["traceEvents"]
+        path = tracer.write(str(tmp_path / "t.json"))
+        assert json.load(open(path))["traceEvents"]
+
+    def test_read_task_spans_annotated_with_fetch_wait(self):
+        sim, _ = _run("mpi-opt", obs_trace=True)
+        read_spans = [
+            s for s in sim.env.tracer.spans if s.cat == "task" and "read" in s.name
+        ]
+        assert read_spans
+        assert all("fetch_wait_s" in s.args for s in read_spans)

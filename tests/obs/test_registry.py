@@ -1,0 +1,194 @@
+"""Unit tests for the sim-clock-native metrics registry."""
+
+import json
+
+import pytest
+
+from repro.obs.registry import (
+    HISTOGRAM_SAMPLE_CAP,
+    Counter,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+from repro.simnet.engine import SimEngine
+
+
+@pytest.fixture
+def env():
+    return SimEngine()
+
+
+class TestRegistryBasics:
+    def test_engine_owns_a_registry(self, env):
+        assert isinstance(env.metrics, MetricsRegistry)
+        assert env.metrics.env is env
+
+    def test_get_or_create_returns_same_object(self, env):
+        a = env.metrics.counter("a.b.c")
+        b = env.metrics.counter("a.b.c")
+        assert a is b
+        assert len(env.metrics) == 1
+
+    def test_kind_mismatch_raises(self, env):
+        env.metrics.counter("x")
+        with pytest.raises(TypeError, match="already registered"):
+            env.metrics.gauge("x")
+
+    def test_counter_increments(self, env):
+        c = env.metrics.counter("n")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_gauge_set_inc_dec(self, env):
+        g = env.metrics.gauge("depth")
+        g.set(4)
+        g.inc()
+        g.dec(2)
+        assert g.value == 3
+
+    def test_on_snapshot_hook_publishes_lazily(self, env):
+        # The hot-path pattern: a plain attribute counter synced into the
+        # registry only when a snapshot is taken.
+        c = env.metrics.counter("lazy.total")
+        state = {"n": 0}
+        env.metrics.on_snapshot(lambda: c.__setattr__("value", float(state["n"])))
+        state["n"] = 41
+        assert c.value == 0.0  # nothing published yet
+        assert env.metrics.snapshot().value("lazy.total") == 41.0
+        state["n"] = 42
+        assert env.metrics.snapshot().value("lazy.total") == 42.0  # idempotent re-sync
+
+
+class TestTimeWeightedGauge:
+    def test_time_average_weights_by_duration(self, env):
+        g = env.metrics.time_gauge("active")
+
+        def proc(env):
+            g.set(2.0)  # at t=0
+            yield env.timeout(1.0)
+            g.set(4.0)  # held 2.0 for [0,1)
+            yield env.timeout(3.0)
+            g.set(0.0)  # held 4.0 for [1,4)
+
+        env.process(proc(env))
+        env.run()
+        # integral = 2*1 + 4*3 = 14 over 4s
+        assert g.time_average() == pytest.approx(14.0 / 4.0)
+
+    def test_time_average_before_any_time_passes(self, env):
+        g = env.metrics.time_gauge("idle")
+        g.set(7.0)
+        assert g.time_average() == 7.0
+
+
+class TestHistogram:
+    def test_summary_has_exact_moments(self, env):
+        h = env.metrics.histogram("lat")
+        for x in (1.0, 2.0, 3.0, 4.0):
+            h.observe(x)
+        s = h.summary()
+        assert s.n == 4
+        assert s.mean == 2.5
+        assert s.min == 1.0 and s.max == 4.0
+        assert s.total == 10.0
+        assert s.p50 == 2.5
+        assert s.p95 <= s.p99 <= s.max
+
+    def test_empty_summary_is_none_and_dropped_from_snapshot(self, env):
+        env.metrics.histogram("never_observed")
+        assert env.metrics.histogram("never_observed").summary() is None
+        snap = env.metrics.snapshot()
+        assert "never_observed" not in snap.histograms
+
+    def test_decimation_caps_samples_keeps_exact_moments(self, env):
+        h = env.metrics.histogram("big")
+        n = 3 * HISTOGRAM_SAMPLE_CAP
+        for i in range(n):
+            h.observe(float(i))
+        assert len(h._samples) <= HISTOGRAM_SAMPLE_CAP
+        s = h.summary()
+        assert s.n == n  # moments never decimated
+        assert s.mean == pytest.approx((n - 1) / 2.0)
+        assert s.min == 0.0 and s.max == float(n - 1)
+        # decimated percentiles stay in the right ballpark
+        assert s.p50 == pytest.approx(n / 2, rel=0.05)
+
+    def test_decimation_is_deterministic(self, env):
+        h1 = env.metrics.histogram("h1")
+        h2 = env.metrics.histogram("h2")
+        for i in range(2 * HISTOGRAM_SAMPLE_CAP):
+            h1.observe(float(i))
+            h2.observe(float(i))
+        assert h1._samples == h2._samples
+
+
+class TestSnapshot:
+    def _populated(self, env):
+        m = env.metrics
+        m.counter("netty.loop.a.busy_s").inc(1.5)
+        m.counter("netty.loop.b.busy_s").inc(0.5)
+        m.counter("mpi.rank.r0.iprobe_calls").inc(10)
+        m.gauge("window").set(3)
+        m.time_gauge("flows").set(2)
+        m.histogram("wait").observe(0.25)
+        return m.snapshot()
+
+    def test_len_and_names_glob(self, env):
+        snap = self._populated(env)
+        assert len(snap) == 6
+        assert snap.names("netty.loop.*.busy_s") == [
+            "netty.loop.a.busy_s",
+            "netty.loop.b.busy_s",
+        ]
+
+    def test_total_sums_matching_counters_only(self, env):
+        snap = self._populated(env)
+        assert snap.total("netty.loop.*.busy_s") == 2.0
+        assert snap.total("no.such.*") == 0.0
+        # gauges/histograms are not counters: excluded from total()
+        assert snap.total("window") == 0.0
+
+    def test_value_lookup(self, env):
+        snap = self._populated(env)
+        assert snap.value("mpi.rank.r0.iprobe_calls") == 10
+        assert snap.value("window") == 3
+        assert snap.value("missing", default=-1.0) == -1.0
+
+    def test_snapshot_is_frozen(self, env):
+        snap = self._populated(env)
+        with pytest.raises(AttributeError):
+            snap.taken_at = 99.0
+
+    def test_delta_across_registries_drops_zeros(self, env):
+        snap_a = self._populated(env)
+        env2 = SimEngine()
+        m2 = env2.metrics
+        m2.counter("netty.loop.a.busy_s").inc(4.5)
+        m2.counter("spark.scheduler.tasks_finished").inc(7)
+        snap_b = m2.snapshot()
+        d = snap_b.delta(snap_a)
+        assert d["netty.loop.a.busy_s"] == 3.0
+        assert d["spark.scheduler.tasks_finished"] == 7
+        # b's missing counters with a zero diff don't appear
+        assert "netty.loop.b.busy_s" not in d
+        assert snap_b.delta(snap_a, "spark.*") == {
+            "spark.scheduler.tasks_finished": 7
+        }
+
+    def test_as_dict_is_json_roundtrippable(self, env):
+        snap = self._populated(env)
+        blob = json.dumps(snap.as_dict(), sort_keys=True)
+        back = json.loads(blob)
+        assert back["counters"]["mpi.rank.r0.iprobe_calls"] == 10
+        assert back["histograms"]["wait"]["n"] == 1
+
+    def test_elapsed_uses_sim_clock(self, env):
+        def proc(env):
+            yield env.timeout(2.5)
+
+        env.process(proc(env))
+        env.run()
+        snap = env.metrics.snapshot()
+        assert snap.taken_at == 2.5
+        assert snap.elapsed_s == 2.5

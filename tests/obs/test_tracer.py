@@ -1,0 +1,157 @@
+"""Unit tests for the span tracer and its Chrome-trace export."""
+
+import json
+
+import pytest
+
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
+from repro.simnet.engine import SimEngine
+
+
+@pytest.fixture
+def env():
+    return SimEngine()
+
+
+@pytest.fixture
+def tracer(env):
+    t = Tracer(env)
+    env.tracer = t
+    return t
+
+
+class TestNullTracer:
+    def test_engine_default_is_null(self, env):
+        assert isinstance(env.tracer, NullTracer)
+        assert not env.tracer.enabled
+
+    def test_null_span_is_shared_noop(self):
+        a = NULL_TRACER.span("x")
+        b = NULL_TRACER.span("y", cat="c", track="t", k=1)
+        assert a is b
+        with a as ctx:
+            ctx.annotate(ignored=True)
+        NULL_TRACER.instant("nothing")
+
+
+class TestSpans:
+    def test_span_records_sim_interval(self, env, tracer):
+        def proc(env):
+            with tracer.span("task", cat="task", track="exec0"):
+                yield env.timeout(2.0)
+
+        env.process(proc(env))
+        env.run()
+        (span,) = tracer.spans
+        assert span.name == "task"
+        assert span.start_s == 0.0
+        assert span.end_s == 2.0
+        assert span.duration_s == 2.0
+
+    def test_annotate_merges_args(self, env, tracer):
+        with tracer.span("t", k1=1) as ctx:
+            ctx.annotate(k2=2)
+        assert tracer.spans[0].args == {"k1": 1, "k2": 2}
+
+    def test_exception_marks_span_failed(self, env, tracer):
+        with pytest.raises(RuntimeError):
+            with tracer.span("bad"):
+                raise RuntimeError("x")
+        span = tracer.spans[0]
+        assert span.args["failed"] is True
+        assert span.end_s is not None
+
+    def test_nested_spans_on_tracks(self, env, tracer):
+        def proc(env):
+            with tracer.span("stage", track="driver"):
+                with tracer.span("task", track="exec0"):
+                    yield env.timeout(1.0)
+                yield env.timeout(0.5)
+
+        env.process(proc(env))
+        env.run()
+        by = {s.name: s for s in tracer.spans}
+        assert by["task"].end_s == 1.0
+        assert by["stage"].end_s == 1.5
+        assert by["stage"].start_s <= by["task"].start_s
+
+
+class TestChromeExport:
+    def _trace(self, env, tracer):
+        def proc(env):
+            with tracer.span("stage", cat="stage", track="driver"):
+                with tracer.span("task", cat="task", track="exec0", t=0):
+                    yield env.timeout(1.0)
+            tracer.instant("fault", track="driver", kind="crash")
+
+        env.process(proc(env))
+        env.run()
+        return tracer.to_chrome_trace()
+
+    def test_valid_json_roundtrip(self, env, tracer):
+        self._trace(env, tracer)
+        blob = tracer.dumps()
+        back = json.loads(blob)
+        assert back["traceEvents"]
+        assert back["displayTimeUnit"] == "ms"
+
+    def test_event_shapes(self, env, tracer):
+        trace = self._trace(env, tracer)
+        by_ph = {}
+        for ev in trace["traceEvents"]:
+            by_ph.setdefault(ev["ph"], []).append(ev)
+        # metadata: one process_name + one thread_name per track
+        meta = by_ph["M"]
+        assert {e["name"] for e in meta} == {"process_name", "thread_name"}
+        track_names = {e["args"]["name"] for e in meta if e["name"] == "thread_name"}
+        assert track_names == {"driver", "exec0"}
+        # complete events carry µs timestamps of simulated time
+        task = next(e for e in by_ph["X"] if e["name"] == "task")
+        assert task["ts"] == 0.0
+        assert task["dur"] == pytest.approx(1e6)
+        # distinct tracks get distinct tids
+        stage = next(e for e in by_ph["X"] if e["name"] == "stage")
+        assert stage["tid"] != task["tid"]
+        # the instant marker
+        (inst,) = by_ph["i"]
+        assert inst["name"] == "fault" and inst["args"]["kind"] == "crash"
+
+    def test_open_span_closed_at_export_and_flagged(self, env, tracer):
+        def proc(env):
+            tracer.span("leaked", track="exec0")  # never exited
+            yield env.timeout(3.0)
+
+        env.process(proc(env))
+        env.run()
+        trace = tracer.to_chrome_trace()
+        leaked = next(e for e in trace["traceEvents"] if e["name"] == "leaked")
+        assert leaked["dur"] == pytest.approx(3e6)
+        assert leaked["args"]["unfinished"] is True
+        # the span itself is untouched (export is read-only)
+        assert tracer.spans[0].end_s is None
+
+    def test_write_creates_loadable_file(self, env, tracer, tmp_path):
+        self._trace(env, tracer)
+        path = tracer.write(str(tmp_path / "trace.json"))
+        loaded = json.loads(open(path).read())
+        assert loaded["traceEvents"]
+
+
+class TestTimeline:
+    def test_empty(self, env, tracer):
+        assert "no spans" in tracer.render_timeline()
+
+    def test_renders_bar_per_span(self, env, tracer):
+        def proc(env):
+            with tracer.span("a", track="driver"):
+                yield env.timeout(1.0)
+            with tracer.span("b", track="driver"):
+                yield env.timeout(1.0)
+
+        env.process(proc(env))
+        env.run()
+        out = tracer.render_timeline(width=20)
+        lines = out.splitlines()
+        assert "2 spans" in lines[0]
+        assert any("driver:a" in line and "#" in line for line in lines)
+        assert any("driver:b" in line for line in lines)

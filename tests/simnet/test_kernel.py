@@ -312,6 +312,48 @@ class TestEvents:
         with pytest.raises(SimError, match="drained"):
             env.run(until=ev)
 
+    def test_run_until_already_processed_event_returns_value(self, env):
+        # The event was fired AND processed in an earlier run(); a later
+        # run(until=it) must return its value without needing the schedule
+        # to pop it again.
+        ev = env.event()
+
+        def firer(env):
+            yield env.timeout(1)
+            ev.succeed("done-early")
+
+        env.process(firer(env))
+        env.run()  # drains the schedule; ev is processed here
+        assert ev.processed
+        assert env.run(until=ev) == "done-early"
+
+    def test_run_until_already_failed_event_raises(self, env):
+        ev = env.event()
+
+        def firer(env):
+            yield env.timeout(1)
+            ev.fail(RuntimeError("boom"))
+            yield ev  # absorb so the failure isn't unhandled in run()
+
+        env.process(firer(env))
+        with pytest.raises(RuntimeError, match="boom"):
+            env.run()
+        with pytest.raises(RuntimeError, match="boom"):
+            env.run(until=ev)
+
+    def test_run_until_triggered_but_undelivered_event_drained(self, env):
+        # Fired but never scheduled for delivery (no callbacks, trigger
+        # without schedule) — the drain path must still return its value
+        # rather than report "drained before fired".
+        ev = env.event()
+        ev.succeed("limbo")
+
+        def nothing(env):
+            yield env.timeout(1)
+
+        env.process(nothing(env))
+        assert env.run(until=ev) == "limbo"
+
 
 class TestConditions:
     def test_all_of_waits_for_slowest(self, env):

@@ -9,7 +9,12 @@ import pytest
 
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
 
-FAST_EXAMPLES = ["quickstart.py", "mpi4spark_launch.py", "hibench_ml.py"]
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "mpi4spark_launch.py",
+    "hibench_ml.py",
+    "obs_trace.py",
+]
 
 
 @pytest.mark.parametrize("name", FAST_EXAMPLES)
@@ -32,3 +37,16 @@ def test_launch_example_shows_fig3_steps(capsys):
     assert "Step A/B" in out
     assert "MPI_Comm_spawn_multiple" in out
     assert "DPM_COMM allgather" in out
+
+
+def test_obs_trace_example_writes_valid_chrome_trace(capsys):
+    import json
+
+    runpy.run_path(str(EXAMPLES / "obs_trace.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "timeline" in out and "Chrome trace" in out
+    trace_path = EXAMPLES.parent / "results" / "groupby_trace.json"
+    trace = json.loads(trace_path.read_text())
+    assert trace["traceEvents"]
+    kinds = {ev["ph"] for ev in trace["traceEvents"]}
+    assert "X" in kinds and "M" in kinds

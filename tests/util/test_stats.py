@@ -43,6 +43,32 @@ class TestOnlineStats:
         a.merge(b)
         assert a.n == 2 and a.mean == 6.0
 
+    def test_merge_empty_into_nonempty_is_noop(self):
+        a, b = OnlineStats(), OnlineStats()
+        a.extend([5.0, 7.0])
+        a.merge(b)
+        assert a.n == 2
+        assert a.mean == 6.0
+        assert a.min == 5.0 and a.max == 7.0
+
+    def test_merge_both_empty(self):
+        a, b = OnlineStats(), OnlineStats()
+        a.merge(b)
+        assert a.n == 0
+        assert a.mean == 0.0
+        assert a.variance == 0.0
+
+    def test_merge_takes_min_and_max_across_both(self):
+        a, b = OnlineStats(), OnlineStats()
+        a.extend([3.0, 4.0])
+        b.extend([-1.0, 10.0])
+        a.merge(b)
+        assert a.min == -1.0 and a.max == 10.0
+        b2 = OnlineStats()
+        b2.extend([3.5])  # inside a's range: extremes unchanged
+        a.merge(b2)
+        assert a.min == -1.0 and a.max == 10.0
+
     @given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=200))
     def test_matches_naive_mean(self, xs):
         s = OnlineStats()
@@ -83,6 +109,20 @@ class TestPercentile:
     def test_out_of_range_raises(self):
         with pytest.raises(ValueError):
             percentile([1.0], 101)
+        with pytest.raises(ValueError):
+            percentile([1.0], -0.1)
+
+    def test_single_element_any_q(self):
+        for q in (0, 37.5, 50, 99, 100):
+            assert percentile([42.0], q) == 42.0
+
+    def test_all_equal_values(self):
+        assert percentile([7.0] * 5, 99) == 7.0
+
+    def test_p99_interpolates_near_top(self):
+        xs = list(range(1, 101))  # 1..100
+        assert percentile(xs, 99) == pytest.approx(99.01)
+        assert percentile(xs, 95) < percentile(xs, 99) < percentile(xs, 100)
 
     @given(st.lists(st.floats(0, 1e9), min_size=1, max_size=100), st.floats(0, 100))
     def test_within_bounds(self, xs, q):
@@ -105,3 +145,12 @@ class TestSummarize:
         assert s.min == 1.0 and s.max == 4.0
         assert s.total == 10.0
         assert not math.isnan(s.stdev)
+
+    def test_p99_ordered_between_p95_and_max(self):
+        s = summarize([float(x) for x in range(1, 101)])
+        assert s.p95 <= s.p99 <= s.max
+        assert s.p99 == pytest.approx(percentile(list(range(1, 101)), 99))
+
+    def test_p99_single_value(self):
+        s = summarize([3.0])
+        assert s.p50 == s.p95 == s.p99 == 3.0
