@@ -19,6 +19,27 @@ FULL = os.environ.get("REPRO_FULL", "0") == "1"
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
 
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--jobs",
+        action="store",
+        type=int,
+        default=None,
+        help=(
+            "fan independent experiment cells over N worker processes "
+            "(default: REPRO_JOBS env var, else 1 = serial). Rows are "
+            "identical for any worker count."
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def jobs(request):
+    from repro.harness.parallel import resolve_jobs
+
+    return resolve_jobs(request.config.getoption("--jobs"))
+
 # (worker counts, task-folding fidelity) per mode.
 OHB_WORKERS = (8, 16, 32) if FULL else (2, 4, 8)
 OHB_FIDELITY = 0.125 if FULL else 0.25

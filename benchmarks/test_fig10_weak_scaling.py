@@ -29,8 +29,8 @@ from repro.workloads.ohb import GROUP_BY
 
 
 @pytest.fixture(scope="module")
-def cells():
-    return fig10_weak_scaling(workers=OHB_WORKERS, fidelity=OHB_FIDELITY)
+def cells(jobs):
+    return fig10_weak_scaling(workers=OHB_WORKERS, fidelity=OHB_FIDELITY, jobs=jobs)
 
 
 def test_fig10_sweep(benchmark, cells):

@@ -25,9 +25,9 @@ DATA = 224 * GiB if FULL else 56 * GiB
 
 
 @pytest.fixture(scope="module")
-def cells():
+def cells(jobs):
     return fig11_strong_scaling(
-        workers=OHB_WORKERS, data_bytes=DATA, fidelity=OHB_FIDELITY
+        workers=OHB_WORKERS, data_bytes=DATA, fidelity=OHB_FIDELITY, jobs=jobs
     )
 
 

@@ -17,8 +17,8 @@ from repro.workloads.hibench import SPECS
 
 
 @pytest.fixture(scope="module")
-def cells():
-    return fig12_hibench(fidelity=HIBENCH_FIDELITY)
+def cells(jobs):
+    return fig12_hibench(fidelity=HIBENCH_FIDELITY, jobs=jobs)
 
 
 def _run_one(name: str, transport: str):

@@ -17,13 +17,17 @@ from repro.workloads.ohb import GROUP_BY, SORT_BY
 
 
 @pytest.fixture(scope="module")
-def cells():
-    out = []
-    for workload in (GROUP_BY, SORT_BY):
-        for n_workers, data in ((2, 28 * GiB),):
-            for transport in ("nio", "mpi-basic", "mpi-opt"):
-                out.append(_run_ohb(workload, n_workers, data, transport, OHB_FIDELITY))
-    return out
+def cells(jobs):
+    from repro.harness.parallel import run_ohb_cells
+    from repro.harness.systems import FRONTERA
+
+    specs = [
+        (workload.name, n_workers, data, transport, OHB_FIDELITY, FRONTERA.name)
+        for workload in (GROUP_BY, SORT_BY)
+        for n_workers, data in ((2, 28 * GiB),)
+        for transport in ("nio", "mpi-basic", "mpi-opt")
+    ]
+    return run_ohb_cells(specs, jobs)
 
 
 def test_fig9_runs(benchmark, cells):

@@ -1,0 +1,69 @@
+"""Pinned wall-clock perf suite -> ``results/BENCH_perf.json``.
+
+Unlike the figure benchmarks (which assert on *simulated* seconds), this
+suite times real wall seconds and kernel events/sec for a pinned subset
+of cells. Run it directly::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_perf_suite.py -q
+
+With ``REPRO_PERF_GATE=1`` the suite additionally fails if any cell's
+events/sec dropped >30% against the committed ``results/BENCH_perf.json``
+(the committed file is read at import time, before this run overwrites it).
+"""
+
+import json
+import os
+
+import pytest
+
+from benchmarks.conftest import RESULTS_DIR
+from repro.harness.perfbench import (
+    PINNED_CELLS,
+    regressions,
+    run_perf_suite,
+)
+
+_BENCH_PATH = RESULTS_DIR / "BENCH_perf.json"
+# Snapshot the committed payload before any test overwrites it.
+_COMMITTED = (
+    json.loads(_BENCH_PATH.read_text()) if _BENCH_PATH.exists() else None
+)
+
+
+@pytest.fixture(scope="module")
+def payload():
+    return run_perf_suite()
+
+
+def test_perf_suite_writes_bench_json(payload):
+    RESULTS_DIR.mkdir(exist_ok=True)
+    _BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    assert _BENCH_PATH.exists()
+
+
+def test_all_pinned_cells_ran(payload):
+    assert [c["name"] for c in payload["cells"]] == list(PINNED_CELLS)
+    for cell in payload["cells"]:
+        assert cell["events_processed"] > 0
+        assert cell["events_per_sec"] > 0
+        assert cell["wall_seconds"] > 0
+    assert payload["peak_rss_kib"] > 0
+
+
+def test_speedup_vs_pre_pr_baseline_recorded(payload):
+    # The fast-path work is the point of this file: the payload must carry
+    # per-cell speedups against the pre-PR walls (live division) plus the
+    # paired alternating-process ratios, whose heavy-cell entry is the
+    # >=3x serial win the kernel work bought.
+    speedups = payload["baseline"]["speedup_vs_baseline"]
+    assert set(speedups) == {c["name"] for c in payload["cells"]}
+    assert payload["baseline"]["paired_speedup"]["fig10_groupby_8w_mpi-basic"] >= 3.0
+    assert payload["baseline"]["best_speedup"] >= 3.0
+
+
+def test_no_events_per_sec_regression_vs_committed(payload):
+    if os.environ.get("REPRO_PERF_GATE") != "1":
+        pytest.skip("perf gate disabled; set REPRO_PERF_GATE=1 to enable")
+    if _COMMITTED is None:
+        pytest.skip("no committed results/BENCH_perf.json to compare against")
+    assert regressions(payload, _COMMITTED, threshold=0.30) == []

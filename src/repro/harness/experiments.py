@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro.harness.parallel import run_hibench_cells, run_ohb_cells
 from repro.harness.pingpong import PingPongResult, run_pingpong
 from repro.harness.systems import FRONTERA, INTERNAL_CLUSTER, STAMPEDE2, SYSTEMS
 from repro.spark.deploy import RunResult, SparkSimCluster
@@ -93,17 +94,22 @@ def fig8_pingpong(
 # Fig 9 — MPI4Spark-Basic vs MPI4Spark-Optimized vs Vanilla
 # ---------------------------------------------------------------------------
 
-def fig9_basic_vs_optimized(fidelity: float = 0.25) -> list[OhbCell]:
+def fig9_basic_vs_optimized(
+    fidelity: float = 0.25, jobs: int | None = None
+) -> list[OhbCell]:
     """GroupByTest and SortByTest at 28 GB / 112 cores and 56 GB / 224
-    cores on Frontera (2 and 4 workers)."""
-    cells = []
-    for workload in (GROUP_BY, SORT_BY):
-        for n_workers, data in ((2, 28 * GiB), (4, 56 * GiB)):
-            for transport in ("nio", "mpi-basic", "mpi-opt"):
-                cells.append(
-                    _run_ohb(workload, n_workers, data, transport, fidelity)
-                )
-    return cells
+    cores on Frontera (2 and 4 workers).
+
+    Cells are independent simulations; ``jobs`` fans them over worker
+    processes (row order and values are identical for any ``jobs``).
+    """
+    specs = [
+        (workload.name, n_workers, data, transport, fidelity, FRONTERA.name)
+        for workload in (GROUP_BY, SORT_BY)
+        for n_workers, data in ((2, 28 * GiB), (4, 56 * GiB))
+        for transport in ("nio", "mpi-basic", "mpi-opt")
+    ]
+    return run_ohb_cells(specs, jobs)
 
 
 # ---------------------------------------------------------------------------
@@ -111,17 +117,18 @@ def fig9_basic_vs_optimized(fidelity: float = 0.25) -> list[OhbCell]:
 # ---------------------------------------------------------------------------
 
 def fig10_weak_scaling(
-    workers: Sequence[int] = (8, 16, 32), fidelity: float = 0.25
+    workers: Sequence[int] = (8, 16, 32),
+    fidelity: float = 0.25,
+    jobs: int | None = None,
 ) -> list[OhbCell]:
-    cells = []
-    for workload in (GROUP_BY, SORT_BY):
-        for n_workers in workers:
-            data = n_workers * 14 * GiB
-            for transport in OHB_TRANSPORTS:
-                cells.append(
-                    _run_ohb(workload, n_workers, data, transport, fidelity)
-                )
-    return cells
+    specs = [
+        (workload.name, n_workers, n_workers * 14 * GiB, transport, fidelity,
+         FRONTERA.name)
+        for workload in (GROUP_BY, SORT_BY)
+        for n_workers in workers
+        for transport in OHB_TRANSPORTS
+    ]
+    return run_ohb_cells(specs, jobs)
 
 
 # ---------------------------------------------------------------------------
@@ -132,15 +139,15 @@ def fig11_strong_scaling(
     workers: Sequence[int] = (8, 16, 32),
     data_bytes: int = 224 * GiB,
     fidelity: float = 0.25,
+    jobs: int | None = None,
 ) -> list[OhbCell]:
-    cells = []
-    for workload in (GROUP_BY, SORT_BY):
-        for n_workers in workers:
-            for transport in OHB_TRANSPORTS:
-                cells.append(
-                    _run_ohb(workload, n_workers, data_bytes, transport, fidelity)
-                )
-    return cells
+    specs = [
+        (workload.name, n_workers, data_bytes, transport, fidelity, FRONTERA.name)
+        for workload in (GROUP_BY, SORT_BY)
+        for n_workers in workers
+        for transport in OHB_TRANSPORTS
+    ]
+    return run_ohb_cells(specs, jobs)
 
 
 # ---------------------------------------------------------------------------
@@ -160,7 +167,9 @@ FIG12B_WORKLOADS = ("NWeight", "TeraSort")
 FIG12C_WORKLOADS = ("LR", "GMM", "SVM", "Repartition")
 
 
-def fig12_hibench(fidelity: float = 0.25) -> list[HiBenchCell]:
+def fig12_hibench(
+    fidelity: float = 0.25, jobs: int | None = None
+) -> list[HiBenchCell]:
     """The full Fig-12 matrix.
 
     Frontera: 16 workers, 896 cores, transports nio/rdma/mpi-opt
@@ -168,29 +177,19 @@ def fig12_hibench(fidelity: float = 0.25) -> list[HiBenchCell]:
     paper — HiBench 7.0 did not support them).
     Stampede2: 8 workers, 96 threads each; no RDMA (OPA has no IB verbs).
     """
-    cells: list[HiBenchCell] = []
     rdma_unsupported = {"GMM", "Repartition"}  # HiBench 7.0 gap (paper)
-    for name in dict.fromkeys(FIG12A_WORKLOADS + FIG12B_WORKLOADS):
-        for transport in OHB_TRANSPORTS:
-            if transport == "rdma" and name in rdma_unsupported:
-                continue
-            sim = SparkSimCluster(FRONTERA, 16, transport)
-            sim.launch()
-            prof = SPECS[name].build_profile(FRONTERA, 16, fidelity=fidelity)
-            res = sim.run_profile(prof)
-            sim.shutdown()
-            cells.append(HiBenchCell(name, "Frontera", transport, res.total_seconds))
-    for name in dict.fromkeys(FIG12C_WORKLOADS):
-        for transport in ("nio", "mpi-opt"):  # no RDMA on Omni-Path
-            sim = SparkSimCluster(STAMPEDE2, 8, transport, cores_per_executor=96)
-            sim.launch()
-            prof = SPECS[name].build_profile(
-                STAMPEDE2, 8, cores_per_executor=96, fidelity=fidelity
-            )
-            res = sim.run_profile(prof)
-            sim.shutdown()
-            cells.append(HiBenchCell(name, "Stampede2", transport, res.total_seconds))
-    return cells
+    specs = [
+        (name, FRONTERA.name, 16, transport, None, fidelity)
+        for name in dict.fromkeys(FIG12A_WORKLOADS + FIG12B_WORKLOADS)
+        for transport in OHB_TRANSPORTS
+        if not (transport == "rdma" and name in rdma_unsupported)
+    ]
+    specs += [
+        (name, STAMPEDE2.name, 8, transport, 96, fidelity)
+        for name in dict.fromkeys(FIG12C_WORKLOADS)
+        for transport in ("nio", "mpi-opt")  # no RDMA on Omni-Path
+    ]
+    return run_hibench_cells(specs, jobs)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,110 @@
+"""Parallel experiment harness: fan independent cells over processes.
+
+Every experiment cell (one ``(system, workload, transport, scale)``
+combination) owns its own :class:`~repro.simnet.engine.SimEngine` and
+seed, so a cell's rows are a pure function of its spec — identical
+whether it runs in this process, a worker process, or any worker count.
+That makes parallelism free of determinism risk: the only requirements
+are (1) cell specs built from primitives so they pickle under both fork
+and spawn start methods, and (2) an order-preserving merge, which
+``ProcessPoolExecutor.map`` gives us directly (results come back in
+submission order regardless of completion order).
+
+``--jobs N`` on the benchmark suite and the ``REPRO_JOBS`` environment
+variable both route through :func:`resolve_jobs`; ``jobs=1`` bypasses
+multiprocessing entirely (no pool, no pickling) so the serial path stays
+exactly what it was.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, Iterable, Sequence
+
+# Cell specs are plain tuples of primitives; workers re-resolve registry
+# objects (workloads, systems) by name so specs pickle under any start
+# method and never drag a half-built simulation across the fork.
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Normalize a worker count: explicit arg > ``REPRO_JOBS`` env > 1."""
+    if jobs is None:
+        jobs = int(os.environ.get("REPRO_JOBS", "1") or "1")
+    return max(1, int(jobs))
+
+
+def parallel_map(
+    fn: Callable[[Any], Any], items: Sequence[Any], jobs: int | None = None
+) -> list[Any]:
+    """``[fn(x) for x in items]``, fanned over ``jobs`` processes.
+
+    Results are returned in input order (order-preserving merge). With
+    ``jobs <= 1`` or fewer than two items this runs inline — the serial
+    path involves no pool, no pickling and no subprocess.
+    """
+    jobs = resolve_jobs(jobs)
+    items = list(items)
+    if jobs <= 1 or len(items) < 2:
+        return [fn(x) for x in items]
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
+        return list(pool.map(fn, items, chunksize=1))
+
+
+# -- module-level workers (must be importable by worker processes) ----------
+
+def run_ohb_cell(spec: tuple) -> Any:
+    """Worker: one OHB cell from a primitive spec.
+
+    ``spec`` is ``(workload_name, n_workers, data_bytes, transport,
+    fidelity, system_name)`` — the argument order of
+    ``experiments._run_ohb`` with the system passed by name.
+    """
+    workload_name, n_workers, data_bytes, transport, fidelity, system_name = spec
+    from repro.harness.experiments import _run_ohb
+    from repro.harness.systems import SYSTEMS
+    from repro.workloads.ohb import GROUP_BY, SORT_BY
+
+    workloads = {w.name: w for w in (GROUP_BY, SORT_BY)}
+    return _run_ohb(
+        workloads[workload_name],
+        n_workers,
+        data_bytes,
+        transport,
+        fidelity,
+        system=SYSTEMS[system_name],
+    )
+
+
+def run_hibench_cell(spec: tuple) -> Any:
+    """Worker: one HiBench cell from a primitive spec.
+
+    ``spec`` is ``(workload_name, system_name, n_workers, transport,
+    cores_per_executor, fidelity)``; ``cores_per_executor`` may be None.
+    """
+    workload_name, system_name, n_workers, transport, cores, fidelity = spec
+    from repro.harness.experiments import HiBenchCell
+    from repro.harness.systems import SYSTEMS
+    from repro.spark.deploy import SparkSimCluster
+    from repro.workloads.hibench import SPECS
+
+    system = SYSTEMS[system_name]
+    sim = SparkSimCluster(system, n_workers, transport, cores_per_executor=cores)
+    sim.launch()
+    prof = SPECS[workload_name].build_profile(
+        system, n_workers, cores_per_executor=cores, fidelity=fidelity
+    )
+    res = sim.run_profile(prof)
+    sim.shutdown()
+    return HiBenchCell(workload_name, system.name, transport, res.total_seconds)
+
+
+def run_ohb_cells(specs: Iterable[tuple], jobs: int | None = None) -> list[Any]:
+    """Run OHB cell specs, preserving spec order in the result list."""
+    return parallel_map(run_ohb_cell, list(specs), jobs)
+
+
+def run_hibench_cells(specs: Iterable[tuple], jobs: int | None = None) -> list[Any]:
+    """Run HiBench cell specs, preserving spec order in the result list."""
+    return parallel_map(run_hibench_cell, list(specs), jobs)

@@ -1,0 +1,206 @@
+"""Pinned wall-clock perf suite for the simulator kernel.
+
+A small, fixed set of figure-suite cells (Fig 8 ping-pong, Fig 9
+basic-vs-opt, one Fig 10 scale point, one Fig 12 HiBench cell) is run
+serially and timed for real; each cell reports wall seconds, kernel
+events dispatched, and events/sec.  ``run_perf_suite`` returns the full
+payload that ``benchmarks/test_perf_suite.py`` writes to
+``results/BENCH_perf.json``.
+
+Two comparisons hang off that file:
+
+* ``PRE_PR_BASELINE`` — wall seconds of the same cells on the tree
+  before the fast-path work (min of 3 alternating runs, same machine).
+  The payload records per-cell speedups against it.
+* ``regressions(current, committed)`` — events/sec of a fresh run vs
+  the committed ``results/BENCH_perf.json``; CI gates on it when
+  ``REPRO_PERF_GATE=1`` (>30% drop fails).
+
+Simulated results are unaffected by any of this: the suite only times
+runs whose outputs are already covered by the figure benchmarks.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import platform
+import resource
+import time
+from dataclasses import asdict, dataclass
+from typing import Callable
+
+from repro.harness.experiments import FIG8_LARGE_SIZES, FIG8_SMALL_SIZES
+from repro.harness.pingpong import run_pingpong
+from repro.harness.systems import FRONTERA, INTERNAL_CLUSTER
+from repro.spark.deploy import SparkSimCluster
+from repro.util.units import GiB
+from repro.workloads.hibench import SPECS
+from repro.workloads.ohb import GROUP_BY
+
+SCHEMA = "repro-perf/1"
+
+# Pre-PR wall seconds for the pinned cells: min of 3 runs alternating
+# old/new interpreter processes on the same machine (see DESIGN.md §10
+# for the methodology).  Used only to report speedups in the payload.
+PRE_PR_BASELINE: dict[str, float] = {
+    "fig8_pingpong_nio": 0.0079,
+    "fig8_pingpong_mpi": 0.0128,
+    "fig9_groupby_2w_nio": 0.301,
+    "fig9_groupby_2w_mpi-basic": 0.467,
+    "fig9_groupby_2w_mpi-opt": 0.427,
+    "fig10_groupby_8w_mpi-basic": 13.48,
+    "fig12_terasort_frontera_mpi-opt": 4.69,
+}
+
+# Speedups from the paired measurement itself (old and new trees in
+# alternating fresh processes, min of 3 per side, per cell).  Unlike the
+# live ``speedup_vs_baseline`` division — whose denominator moves with
+# whatever else the machine is doing — the paired ratio exposes both
+# trees to the same noise, so it is the authoritative before/after
+# number.  The win grows with worker count because the removed matching
+# scans grew with channel count and queue depth.
+PRE_PR_PAIRED_SPEEDUP: dict[str, float] = {
+    "fig8_pingpong_nio": 0.96,
+    "fig8_pingpong_mpi": 1.01,
+    "fig9_groupby_2w_nio": 1.06,
+    "fig9_groupby_2w_mpi-basic": 1.13,
+    "fig9_groupby_2w_mpi-opt": 1.11,
+    "fig10_groupby_8w_mpi-basic": 3.08,
+    "fig12_terasort_frontera_mpi-opt": 1.27,
+}
+
+
+@dataclass
+class PerfCell:
+    """One timed cell of the pinned suite."""
+
+    name: str
+    wall_seconds: float
+    events_processed: int
+    events_per_sec: float
+
+
+def _pingpong_cell(transport: str) -> int:
+    sizes = FIG8_SMALL_SIZES + FIG8_LARGE_SIZES
+    res = run_pingpong(transport, sizes, INTERNAL_CLUSTER.fabric, iterations=4)
+    return res.events_processed
+
+
+def _ohb_cell(n_workers: int, data_bytes: int, transport: str) -> int:
+    sim = SparkSimCluster(FRONTERA, n_workers, transport, obs_enabled=True)
+    sim.launch()
+    profile = GROUP_BY.build_profile(FRONTERA, n_workers, data_bytes, fidelity=0.25)
+    sim.run_profile(profile)
+    sim.shutdown()
+    return sim.env.events_processed
+
+
+def _hibench_cell(name: str, transport: str) -> int:
+    sim = SparkSimCluster(FRONTERA, 16, transport)
+    sim.launch()
+    profile = SPECS[name].build_profile(FRONTERA, 16, fidelity=0.25)
+    sim.run_profile(profile)
+    sim.shutdown()
+    return sim.env.events_processed
+
+
+# name -> zero-arg callable returning the engine's event count for the run
+PINNED_CELLS: dict[str, Callable[[], int]] = {
+    "fig8_pingpong_nio": lambda: _pingpong_cell("nio"),
+    "fig8_pingpong_mpi": lambda: _pingpong_cell("mpi-basic"),
+    "fig9_groupby_2w_nio": lambda: _ohb_cell(2, 28 * GiB, "nio"),
+    "fig9_groupby_2w_mpi-basic": lambda: _ohb_cell(2, 28 * GiB, "mpi-basic"),
+    "fig9_groupby_2w_mpi-opt": lambda: _ohb_cell(2, 28 * GiB, "mpi-opt"),
+    "fig10_groupby_8w_mpi-basic": lambda: _ohb_cell(8, 8 * 14 * GiB, "mpi-basic"),
+    "fig12_terasort_frontera_mpi-opt": lambda: _hibench_cell("TeraSort", "mpi-opt"),
+}
+
+
+def run_cell(name: str, repeats: int = 3) -> PerfCell:
+    """Time one pinned cell, keeping the fastest of ``repeats`` runs.
+
+    Min-of-N is the same estimator the committed baseline used; anything
+    else conflates kernel speed with scheduler noise on busy machines.
+    The event count is identical across repeats (the cells are
+    deterministic), which run 2+ assert as a free sanity check.
+    """
+    fn = PINNED_CELLS[name]
+    wall = float("inf")
+    events = None
+    for _ in range(max(1, repeats)):
+        gc.collect()  # keep earlier cells' garbage out of this timing
+        t0 = time.perf_counter()
+        n = fn()
+        wall = min(wall, time.perf_counter() - t0)
+        assert events is None or events == n, f"{name}: nondeterministic events"
+        events = n
+    return PerfCell(
+        name=name,
+        wall_seconds=wall,
+        events_processed=events,
+        events_per_sec=events / wall if wall > 0 else 0.0,
+    )
+
+
+def run_perf_suite(
+    cells: list[str] | None = None, repeats: int | None = None
+) -> dict:
+    """Run the pinned cells serially; return the BENCH_perf payload."""
+    if repeats is None:
+        repeats = int(os.environ.get("REPRO_PERF_REPEATS", "3") or "3")
+    names = list(PINNED_CELLS) if cells is None else cells
+    rows = [run_cell(name, repeats) for name in names]
+    speedups = {
+        r.name: PRE_PR_BASELINE[r.name] / r.wall_seconds
+        for r in rows
+        if PRE_PR_BASELINE.get(r.name) and r.wall_seconds > 0
+    }
+    return {
+        "schema": SCHEMA,
+        "host": {
+            "platform": platform.platform(),
+            "cpus": os.cpu_count(),
+        },
+        "cells": [asdict(r) for r in rows],
+        "peak_rss_kib": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        "baseline": {
+            "description": (
+                "pre-PR tree, min of 3 runs alternating old/new processes "
+                "on the machine that produced this file; paired_speedup is "
+                "the ratio from that alternating measurement (noise-immune), "
+                "speedup_vs_baseline divides this run's walls by the frozen "
+                "pre-PR walls"
+            ),
+            "wall_seconds": dict(PRE_PR_BASELINE),
+            "speedup_vs_baseline": speedups,
+            "paired_speedup": dict(PRE_PR_PAIRED_SPEEDUP),
+            "best_speedup": max(
+                (*speedups.values(), *PRE_PR_PAIRED_SPEEDUP.values()),
+                default=None,
+            ),
+        },
+    }
+
+
+def regressions(
+    current: dict, committed: dict, threshold: float = 0.30
+) -> list[str]:
+    """Cells whose events/sec dropped more than ``threshold`` vs a
+    committed payload.  Missing cells are skipped (renames don't fail CI).
+    """
+    committed_eps = {
+        c["name"]: c["events_per_sec"] for c in committed.get("cells", [])
+    }
+    out = []
+    for cell in current.get("cells", []):
+        base = committed_eps.get(cell["name"])
+        if not base:
+            continue
+        drop = 1.0 - cell["events_per_sec"] / base
+        if drop > threshold:
+            out.append(
+                f"{cell['name']}: events/sec {cell['events_per_sec']:.0f} "
+                f"vs committed {base:.0f} ({drop:.0%} drop)"
+            )
+    return out

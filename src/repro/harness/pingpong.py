@@ -34,6 +34,7 @@ class PingPongResult:
     transport: str
     fabric: str
     latency_s: dict[int, float]  # message size -> seconds
+    events_processed: int = 0  # kernel events dispatched for the whole run
 
     def speedup_over(self, other: "PingPongResult") -> dict[int, float]:
         return {
@@ -108,5 +109,8 @@ def run_pingpong(
     env.process(client_main(env))
     env.run()
     return PingPongResult(
-        transport=transport_name, fabric=fabric.name, latency_s=dict(latencies)
+        transport=transport_name,
+        fabric=fabric.name,
+        latency_s=dict(latencies),
+        events_processed=env.events_processed,
     )

@@ -7,6 +7,8 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import TYPE_CHECKING, Any
 
+from repro.mpi.status import ANY_SOURCE, ANY_TAG
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.simnet.events import Event
 
@@ -46,8 +48,6 @@ class Envelope:
 
     def matches(self, source: int, tag: int, context_id: int) -> bool:
         """Does this envelope satisfy a recv/probe spec?"""
-        from repro.mpi.status import ANY_SOURCE, ANY_TAG
-
         if context_id != self.context_id:
             return False
         if source != ANY_SOURCE and source != self.src_rank:

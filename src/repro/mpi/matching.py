@@ -12,16 +12,25 @@ This implements the MPI matching rules the paper's designs depend on:
   pre-posted receives faster),
 * ``iprobe`` inspects the unexpected queue without consuming (this is the
   exact call MPI4Spark-Basic spins on inside the selector loop).
+
+Queues are bucketed by ``(context, source, tag)`` so the common case — an
+exact-spec recv or iprobe against a deep unexpected queue — is O(1) instead
+of a linear scan.  Wildcard specs (``ANY_SOURCE``/``ANY_TAG``) fall back to
+scanning bucket *heads* within the context, which is bounded by the number
+of distinct (source, tag) pairs, not by queue depth.  FIFO order within a
+bucket plus a global arrival sequence across buckets reproduces exactly the
+earliest-arrived semantics of the previous single-list implementation.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from collections import deque
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable
 
-from repro.mpi.envelope import Envelope, Protocol
+from repro.mpi.envelope import Envelope
 from repro.mpi.request import Request
-from repro.mpi.status import Status
+from repro.mpi.status import ANY_SOURCE, ANY_TAG, Status
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.simnet.engine import SimEngine
@@ -36,6 +45,7 @@ class PostedRecv:
     context_id: int
     request: Request
     posted_at: float = 0.0
+    seq: int = 0  # post order, used to arbitrate exact vs wildcard buckets
 
 
 class MatchingEngine:
@@ -45,6 +55,16 @@ class MatchingEngine:
     envelope arrives and :meth:`post_recv` when a receive is posted; matched
     pairs are handed to ``on_match`` (the runtime schedules the data
     movement and completion timing).
+
+    Internally both queues are bucketed:
+
+    * unexpected: ``{context_id: {(src, tag): deque[(arr_seq, arrived_at,
+      envelope)]}}`` — FIFO per bucket, ``arr_seq`` totally orders arrivals
+      across buckets so wildcard receives still claim the earliest arrival.
+    * posted: exact specs in ``{(ctx, src, tag): deque[PostedRecv]}``,
+      wildcard specs in a post-ordered overflow list.  ``PostedRecv.seq``
+      arbitrates between an exact-bucket head and the first matching
+      wildcard so posted order is respected exactly as before.
     """
 
     def __init__(
@@ -55,13 +75,28 @@ class MatchingEngine:
     ) -> None:
         self.env = env
         self.on_match = on_match
-        self.unexpected: list[Envelope] = []
-        self.posted: list[PostedRecv] = []
-        self._probe_waiters: list[tuple[int, int, int, Any]] = []
+        self._ux: dict[int, dict[tuple[int, int], deque]] = {}
+        self._ux_count = 0
+        self._arr_seq = 0
+        self._posted_exact: dict[tuple[int, int, int], deque] = {}
+        self._posted_wild: list[PostedRecv] = []
+        self._post_seq = 0
+        # Probe waiters bucketed by exact spec (wildcards are the -1
+        # sentinels, so a delivery wakes at most the four candidate
+        # buckets); the per-waiter sequence number restores the global
+        # insertion order across buckets when several match at once.
+        self._probe_waiters: dict[tuple[int, int, int], deque] = {}
+        self._probe_seq = 0
         # counters, useful in tests and the polling-tax analysis
         self.n_unexpected_matches = 0
         self.n_posted_matches = 0
         self.n_iprobe_calls = 0
+        # scan-length bookkeeping: fixed-size bucket array incremented on
+        # the hot path (index = min(scan, 17)), bulk-published into the
+        # registry histogram lazily at snapshot time.
+        self._scan_hist = [0] * 18
+        self._scan_published = [0] * 18
+        self._iprobe_scanned = 0
         # Registry metrics (repro.obs), rank-scoped when the owner gave us
         # a name (MPIProcess does; anonymous engines in unit tests don't).
         m = env.metrics
@@ -69,10 +104,11 @@ class MatchingEngine:
         self._c_iprobe = m.counter(f"{prefix}.iprobe_calls")
         self._c_posted_matches = m.counter(f"{prefix}.posted_matches")
         self._c_unexpected_matches = m.counter(f"{prefix}.unexpected_matches")
+        self._c_iprobe_scanned = m.counter(f"{prefix}.iprobe_scan_len_total")
         self._g_unexpected_depth = m.time_gauge(f"{prefix}.unexpected_depth")
         self._h_recv_wait = m.histogram(f"{prefix}.recv_match_wait_s")
         self._h_unexpected_wait = m.histogram(f"{prefix}.unexpected_wait_s")
-        self._arrived_at: dict[int, float] = {}
+        self._h_match_scan = m.histogram(f"{prefix}.match_scan_len")
         # The match counters are published from the plain ints above at
         # snapshot time: iprobe is on the Basic design's busy-poll path.
         m.on_snapshot(self._publish_metrics)
@@ -81,44 +117,152 @@ class MatchingEngine:
         self._c_iprobe.value = float(self.n_iprobe_calls)
         self._c_posted_matches.value = float(self.n_posted_matches)
         self._c_unexpected_matches.value = float(self.n_unexpected_matches)
+        self._c_iprobe_scanned.value = float(self._iprobe_scanned)
+        for scan_len, count in enumerate(self._scan_hist):
+            delta = count - self._scan_published[scan_len]
+            if delta:
+                self._h_match_scan.observe_many(float(scan_len), delta)
+                self._scan_published[scan_len] = count
+
+    # -- compatibility views -----------------------------------------------
+    @property
+    def unexpected(self) -> list[Envelope]:
+        """Queued envelopes in arrival order (read-only view)."""
+        entries = []
+        for buckets in self._ux.values():
+            for dq in buckets.values():
+                entries.extend(dq)
+        entries.sort(key=lambda e: e[0])
+        return [envl for _, _, envl in entries]
+
+    @property
+    def posted(self) -> list[PostedRecv]:
+        """Outstanding posted receives in post order (read-only view)."""
+        entries = list(self._posted_wild)
+        for dq in self._posted_exact.values():
+            entries.extend(dq)
+        entries.sort(key=lambda p: p.seq)
+        return entries
 
     # -- arrivals ----------------------------------------------------------
     def deliver(self, env_msg: Envelope) -> None:
         """An envelope arrived from the network."""
-        for posted in self.posted:
-            if env_msg.matches(posted.source, posted.tag, posted.context_id):
-                # matched a pre-posted receive: fast path, no extra copy
-                self.posted.remove(posted)
-                self.n_posted_matches += 1
-                self._h_recv_wait.observe(self.env.now - posted.posted_at)
-                self.on_match(env_msg, posted, False)
-                return
-        self.unexpected.append(env_msg)
-        self._arrived_at[id(env_msg)] = self.env.now
-        self._g_unexpected_depth.set(len(self.unexpected))
+        scan = 0
+        cand = None
+        dq = None
+        if self._posted_exact:
+            dq = self._posted_exact.get(
+                (env_msg.context_id, env_msg.src_rank, env_msg.tag)
+            )
+            if dq:
+                scan += 1
+                cand = dq[0]
+        wild = None
+        for p in self._posted_wild:  # post order → first match has lowest seq
+            scan += 1
+            if _spec_matches(p.source, p.tag, p.context_id, env_msg):
+                wild = p
+                break
+        self._scan_hist[scan if scan < 17 else 17] += 1
+        if wild is not None and (cand is None or wild.seq < cand.seq):
+            self._posted_wild.remove(wild)
+            cand = wild
+        elif cand is not None:
+            dq.popleft()
+            if not dq:
+                del self._posted_exact[(env_msg.context_id, env_msg.src_rank, env_msg.tag)]
+        if cand is not None:
+            # matched a pre-posted receive: fast path, no extra copy
+            self.n_posted_matches += 1
+            self._h_recv_wait.observe(self.env.now - cand.posted_at)
+            self.on_match(env_msg, cand, False)
+            return
+        buckets = self._ux.get(env_msg.context_id)
+        if buckets is None:
+            buckets = self._ux[env_msg.context_id] = {}
+        key = (env_msg.src_rank, env_msg.tag)
+        bucket = buckets.get(key)
+        if bucket is None:
+            bucket = buckets[key] = deque()
+        self._arr_seq += 1
+        bucket.append((self._arr_seq, self.env.now, env_msg))
+        self._ux_count += 1
+        self._g_unexpected_depth.set(self._ux_count)
         self._wake_probes(env_msg)
+
+    # -- unexpected-queue lookup -------------------------------------------
+    def _find_unexpected(self, source: int, tag: int, context_id: int):
+        """Earliest-arrived matching bucket, or None.
+
+        Returns ``(buckets, key, deque, scan_len)`` where ``deque[0]`` is the
+        earliest matching arrival, without consuming it.
+        """
+        buckets = self._ux.get(context_id)
+        if buckets is None:
+            return None, None, None, 0
+        if source != ANY_SOURCE and tag != ANY_TAG:
+            dq = buckets.get((source, tag))
+            if dq:
+                return buckets, (source, tag), dq, 1
+            return None, None, None, 1
+        best_key = None
+        best_dq = None
+        best_seq = None
+        scan = 0
+        for key, dq in buckets.items():
+            scan += 1
+            src, tg = key
+            if source != ANY_SOURCE and source != src:
+                continue
+            if tag != ANY_TAG and tag != tg:
+                continue
+            head_seq = dq[0][0]
+            if best_seq is None or head_seq < best_seq:
+                best_key, best_dq, best_seq = key, dq, head_seq
+        if best_dq is None:
+            return None, None, None, scan
+        return buckets, best_key, best_dq, scan
+
+    def _pop_unexpected(self, context_id, buckets, key, dq):
+        arr_seq, arrived, envl = dq.popleft()
+        if not dq:
+            del buckets[key]
+            if not buckets:
+                # Drop the empty per-context dict: the idle-queue probe
+                # fast path is then a single int-keyed dict miss.
+                del self._ux[context_id]
+        self._ux_count -= 1
+        return arrived, envl
 
     # -- receives ----------------------------------------------------------
     def post_recv(self, source: int, tag: int, context_id: int, request: Request) -> None:
         """Post a receive; matches the oldest queued envelope if any."""
         now = self.env.now
-        for env_msg in self.unexpected:
-            if env_msg.matches(source, tag, context_id):
-                self.unexpected.remove(env_msg)
-                self.n_unexpected_matches += 1
-                self._g_unexpected_depth.set(len(self.unexpected))
-                arrived = self._arrived_at.pop(id(env_msg), now)
-                self._h_unexpected_wait.observe(now - arrived)
-                self._h_recv_wait.observe(0.0)
-                self.on_match(
-                    env_msg,
-                    PostedRecv(source, tag, context_id, request, posted_at=now),
-                    True,  # came off the unexpected queue → buffered copy
-                )
-                return
-        self.posted.append(
-            PostedRecv(source, tag, context_id, request, posted_at=now)
+        buckets, key, dq, scan = self._find_unexpected(source, tag, context_id)
+        self._scan_hist[scan if scan < 17 else 17] += 1
+        if dq is not None:
+            arrived, env_msg = self._pop_unexpected(context_id, buckets, key, dq)
+            self.n_unexpected_matches += 1
+            self._g_unexpected_depth.set(self._ux_count)
+            self._h_unexpected_wait.observe(now - arrived)
+            self._h_recv_wait.observe(0.0)
+            self.on_match(
+                env_msg,
+                PostedRecv(source, tag, context_id, request, posted_at=now),
+                True,  # came off the unexpected queue → buffered copy
+            )
+            return
+        self._post_seq += 1
+        posted = PostedRecv(
+            source, tag, context_id, request, posted_at=now, seq=self._post_seq
         )
+        if source == ANY_SOURCE or tag == ANY_TAG:
+            self._posted_wild.append(posted)
+        else:
+            pdq = self._posted_exact.get((context_id, source, tag))
+            if pdq is None:
+                pdq = self._posted_exact[(context_id, source, tag)] = deque()
+            pdq.append(posted)
 
     # -- probes ------------------------------------------------------------
     def iprobe(
@@ -126,12 +270,25 @@ class MatchingEngine:
     ) -> bool:
         """Non-blocking probe of the unexpected queue (MPI_Iprobe)."""
         self.n_iprobe_calls += 1
-        for env_msg in self.unexpected:
-            if env_msg.matches(source, tag, context_id):
-                if status is not None:
-                    _fill_status(status, env_msg)
-                return True
-        return False
+        buckets = self._ux.get(context_id)
+        if buckets is None:
+            # Idle queue: the case the Basic design's poll loop hammers.
+            return False
+        if source != ANY_SOURCE and tag != ANY_TAG:
+            self._iprobe_scanned += 1
+            dq = buckets.get((source, tag))
+            if not dq:
+                return False
+            if status is not None:
+                _fill_status(status, dq[0][2])
+            return True
+        _, _, dq, scan = self._find_unexpected(source, tag, context_id)
+        self._iprobe_scanned += scan
+        if dq is None:
+            return False
+        if status is not None:
+            _fill_status(status, dq[0][2])
+        return True
 
     def probe_event(self, source: int, tag: int, context_id: int):
         """Event triggering (with the envelope) when a match is queued.
@@ -142,30 +299,50 @@ class MatchingEngine:
         from repro.simnet.events import Event
 
         ev = Event(self.env)
-        for env_msg in self.unexpected:
-            if env_msg.matches(source, tag, context_id):
-                ev.succeed(env_msg)
-                return ev
-        self._probe_waiters.append((source, tag, context_id, ev))
+        _, _, dq, _ = self._find_unexpected(source, tag, context_id)
+        if dq is not None:
+            ev.succeed(dq[0][2])
+            return ev
+        self._probe_seq += 1
+        key = (context_id, source, tag)
+        waiters = self._probe_waiters.get(key)
+        if waiters is None:
+            waiters = self._probe_waiters[key] = deque()
+        waiters.append((self._probe_seq, ev))
         return ev
 
     def _wake_probes(self, env_msg: Envelope) -> None:
-        remaining = []
-        for source, tag, ctx, ev in self._probe_waiters:
-            if not ev.triggered and env_msg.matches(source, tag, ctx):
+        all_waiters = self._probe_waiters
+        if not all_waiters:
+            return
+        # Every waiter in a matching bucket matches the envelope (the
+        # bucket key IS the spec), so whole buckets wake at once; sorting
+        # by waiter seq reproduces the old single-list wake order.
+        ctx = env_msg.context_id
+        src = env_msg.src_rank
+        tag = env_msg.tag
+        matched = None
+        for key in (
+            (ctx, src, tag),
+            (ctx, ANY_SOURCE, tag),
+            (ctx, src, ANY_TAG),
+            (ctx, ANY_SOURCE, ANY_TAG),
+        ):
+            waiters = all_waiters.pop(key, None)
+            if waiters:
+                matched = waiters if matched is None else matched
+                if matched is not waiters:
+                    matched.extend(waiters)
+        if matched is None:
+            return
+        for _, ev in sorted(matched):
+            if not ev.triggered:
                 ev.succeed(env_msg)
-            elif not ev.triggered:
-                remaining.append((source, tag, ctx, ev))
-        self._probe_waiters = remaining
 
     def drop_unexpected(self) -> None:
-        """Discard every queued envelope (rank death / world abort).
-
-        Clearing the arrival stamps alongside the queue keeps the
-        id()-keyed wait-time bookkeeping from matching a recycled object.
-        """
-        self.unexpected.clear()
-        self._arrived_at.clear()
+        """Discard every queued envelope (rank death / world abort)."""
+        self._ux.clear()
+        self._ux_count = 0
         self._g_unexpected_depth.set(0)
 
     # -- failure propagation ------------------------------------------------
@@ -174,10 +351,28 @@ class MatchingEngine:
         pred: Callable[[PostedRecv], bool],
         exc_factory: Callable[[], BaseException],
     ) -> int:
-        """Complete matching posted receives in error (rank death)."""
-        victims = [p for p in self.posted if pred(p)]
+        """Complete matching posted receives in error (rank death).
+
+        The queues are rebuilt once (a single filtering pass) instead of a
+        per-victim ``list.remove`` — with n victims among n posted receives
+        the old implementation was O(n²) in dataclass ``__eq__`` calls.
+        """
+        victims: list[PostedRecv] = []
+        for key in list(self._posted_exact):
+            dq = self._posted_exact[key]
+            keep = deque(p for p in dq if not pred(p))
+            if len(keep) != len(dq):
+                victims.extend(p for p in dq if pred(p))
+                if keep:
+                    self._posted_exact[key] = keep
+                else:
+                    del self._posted_exact[key]
+        keep_wild = [p for p in self._posted_wild if not pred(p)]
+        if len(keep_wild) != len(self._posted_wild):
+            victims.extend(p for p in self._posted_wild if pred(p))
+            self._posted_wild = keep_wild
+        victims.sort(key=lambda p: p.seq)  # fail in post order, as before
         for posted in victims:
-            self.posted.remove(posted)
             if not posted.request.event.triggered:
                 posted.request.event.fail(exc_factory())
         return len(victims)
@@ -189,10 +384,22 @@ class MatchingEngine:
         re-examine their channels instead of parking forever on a peer that
         will never send again.
         """
-        waiters, self._probe_waiters = self._probe_waiters, []
-        for _, _, _, ev in waiters:
+        buckets, self._probe_waiters = self._probe_waiters, {}
+        drained = sorted(w for dq in buckets.values() for w in dq)
+        for _, ev in drained:
             if not ev.triggered:
                 ev.succeed(None)
+
+
+def _spec_matches(source: int, tag: int, context_id: int, envl: Envelope) -> bool:
+    """Does ``envl`` satisfy a recv/probe spec? (wildcard-aware)"""
+    if context_id != envl.context_id:
+        return False
+    if source != ANY_SOURCE and source != envl.src_rank:
+        return False
+    if tag != ANY_TAG and tag != envl.tag:
+        return False
+    return True
 
 
 def _fill_status(status: Status, env_msg: Envelope) -> None:

@@ -5,10 +5,10 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Generator
 
 from repro.mpi.status import Status
+from repro.simnet.events import Event
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.simnet.engine import SimEngine
-    from repro.simnet.events import Event
 
 
 class Request:
@@ -20,8 +20,6 @@ class Request:
     """
 
     def __init__(self, env: "SimEngine", kind: str) -> None:
-        from repro.simnet.events import Event
-
         self.env = env
         self.kind = kind  # "send" | "recv"
         self.event: Event = Event(env)

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import struct
 
+_unpack_from = struct.unpack_from
+
 
 class ByteBufError(RuntimeError):
     """Out-of-bounds read or malformed buffer content."""
@@ -22,13 +24,25 @@ class ByteBuf:
     Only the operations Spark's message codecs need are implemented:
     byte / int (4B big-endian) / long (8B big-endian) / raw bytes / UTF-8
     strings (length-prefixed, as Spark's ``Encoders.Strings`` does).
+
+    Decode-side buffers are copy-on-write: wrapping immutable ``bytes``
+    (or a ``memoryview``) stores the object as-is — the frame decoder
+    reads headers without ever duplicating them — and the first write
+    converts to a private ``bytearray``. A ``bytearray`` input is copied
+    up front, preserving isolation from the caller's buffer.
     """
 
     __slots__ = ("_data", "reader_index")
 
-    def __init__(self, data: bytes = b"") -> None:
-        self._data = bytearray(data)
+    def __init__(self, data: bytes | bytearray | memoryview = b"") -> None:
+        self._data = bytearray(data) if type(data) is bytearray else data
         self.reader_index = 0
+
+    def _writable(self) -> bytearray:
+        data = self._data
+        if type(data) is not bytearray:
+            data = self._data = bytearray(data)
+        return data
 
     # -- introspection -------------------------------------------------------
     @property
@@ -49,19 +63,19 @@ class ByteBuf:
     def write_byte(self, value: int) -> "ByteBuf":
         if not 0 <= value < 256:
             raise ByteBufError(f"byte out of range: {value}")
-        self._data.append(value)
+        self._writable().append(value)
         return self
 
     def write_int(self, value: int) -> "ByteBuf":
-        self._data += struct.pack(">i", value)
+        self._writable().extend(struct.pack(">i", value))
         return self
 
     def write_long(self, value: int) -> "ByteBuf":
-        self._data += struct.pack(">q", value)
+        self._writable().extend(struct.pack(">q", value))
         return self
 
     def write_bytes(self, data: bytes) -> "ByteBuf":
-        self._data += data
+        self._writable().extend(data)
         return self
 
     def write_string(self, text: str) -> "ByteBuf":
@@ -72,31 +86,62 @@ class ByteBuf:
 
     # -- reads ---------------------------------------------------------------
     def _take(self, n: int) -> bytes:
-        if self.readable_bytes() < n:
+        ri = self.reader_index
+        data = self._data
+        if len(data) - ri < n:
             raise ByteBufError(
-                f"read of {n} bytes but only {self.readable_bytes()} readable"
+                f"read of {n} bytes but only {len(data) - ri} readable"
             )
-        chunk = bytes(self._data[self.reader_index : self.reader_index + n])
-        self.reader_index += n
-        return chunk
+        self.reader_index = ri + n
+        chunk = data[ri : ri + n]
+        return chunk if type(chunk) is bytes else bytes(chunk)
 
     def read_byte(self) -> int:
         return self._take(1)[0]
 
     def read_int(self) -> int:
-        return struct.unpack(">i", self._take(4))[0]
+        ri = self.reader_index
+        if len(self._data) - ri < 4:
+            raise ByteBufError(
+                f"read of 4 bytes but only {len(self._data) - ri} readable"
+            )
+        self.reader_index = ri + 4
+        return _unpack_from(">i", self._data, ri)[0]
 
     def read_long(self) -> int:
-        return struct.unpack(">q", self._take(8))[0]
+        ri = self.reader_index
+        if len(self._data) - ri < 8:
+            raise ByteBufError(
+                f"read of 8 bytes but only {len(self._data) - ri} readable"
+            )
+        self.reader_index = ri + 8
+        return _unpack_from(">q", self._data, ri)[0]
 
     def read_bytes(self, n: int) -> bytes:
         return self._take(n)
+
+    def read_slice(self, n: int) -> memoryview:
+        """Zero-copy read: a ``memoryview`` over the next ``n`` bytes.
+
+        The view aliases the buffer's storage, so it stays valid only
+        until the buffer is written to again (writing to a ``bytearray``
+        with live exports raises ``BufferError`` — by design, the decode
+        path never writes).
+        """
+        ri = self.reader_index
+        data = self._data
+        if len(data) - ri < n:
+            raise ByteBufError(
+                f"read of {n} bytes but only {len(data) - ri} readable"
+            )
+        self.reader_index = ri + n
+        return memoryview(data)[ri : ri + n]
 
     def read_string(self) -> str:
         n = self.read_int()
         if n < 0:
             raise ByteBufError(f"negative string length {n}")
-        return self._take(n).decode("utf-8")
+        return str(self.read_slice(n), "utf-8")
 
     # -- peeking (frame decoding needs lookahead) ------------------------------
     def peek_byte(self, offset: int = 0) -> int:
@@ -109,7 +154,7 @@ class ByteBuf:
         idx = self.reader_index + offset
         if idx + 8 > len(self._data):
             raise ByteBufError("peek past end of buffer")
-        return struct.unpack(">q", bytes(self._data[idx : idx + 8]))[0]
+        return _unpack_from(">q", self._data, idx)[0]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<ByteBuf readable={self.readable_bytes()}>"

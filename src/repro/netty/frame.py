@@ -35,7 +35,7 @@ class WireFrame:
         return len(self.header) + self.body_nbytes
 
     def header_buf(self) -> ByteBuf:
-        """The header wrapped for decoding."""
+        """The header wrapped for decoding (zero-copy: ByteBuf is COW)."""
         return ByteBuf(self.header)
 
 
@@ -59,7 +59,13 @@ def encode_frame_header(type_tag: int, header_fields: bytes, body_nbytes: int) -
 
 
 def decode_frame_header(header: bytes) -> tuple[int, int, ByteBuf]:
-    """Split a header into (type_tag, body_nbytes, fields buffer)."""
+    """Split a header into (type_tag, body_nbytes, fields buffer).
+
+    Zero-copy: the returned fields buffer wraps ``header`` directly
+    (ByteBuf is copy-on-write for immutable inputs) with its reader
+    positioned past the length prefix and type tag — the header bytes
+    are never duplicated on the decode path.
+    """
     buf = ByteBuf(header)
     frame_len = buf.read_long()
     type_tag = buf.read_byte()

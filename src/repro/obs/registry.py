@@ -148,6 +148,28 @@ class Histogram:
                 self._samples.append(x)
         self._i += 1
 
+    def observe_many(self, x: float, n: int) -> None:
+        """Absorb ``n`` identical observations in O(1).
+
+        Bulk-publish path for hot-path code that counts occurrences in
+        plain ints and flushes at snapshot time: the moments are merged
+        analytically (n identical values have zero variance) and one
+        representative sample feeds the percentile window.
+        """
+        if n <= 0:
+            return
+        from repro.util.stats import OnlineStats
+
+        bulk = OnlineStats()
+        bulk.n = n
+        bulk._mean = x
+        bulk.min = x
+        bulk.max = x
+        bulk.total = x * n
+        self.stats.merge(bulk)
+        if len(self._samples) < HISTOGRAM_SAMPLE_CAP:
+            self._samples.append(x)
+
     @property
     def n(self) -> int:
         return self.stats.n

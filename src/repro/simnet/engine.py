@@ -38,11 +38,18 @@ class SimEngine:
     'done at 2.5'
     """
 
+    # Upper bound on the Timeout free list; beyond this, recycled instances
+    # are simply dropped for the GC (bounds memory under timer storms).
+    _POOL_MAX = 4096
+
     def __init__(self, start_time: float = 0.0, seed: int = 0) -> None:
         self.now: float = start_time
         self._heap: list[tuple[float, int, Event]] = []
         self._seq = 0
         self._active_process: Process | None = None
+        self._timeout_pool: list[Timeout] = []
+        self._n_dead = 0  # tombstoned (cancelled) entries still in the heap
+        self.events_processed = 0  # lifetime dispatch count (perf harness)
         # Every stochastic component (fault injection, chaos filters) forks a
         # substream off this so one seed reproduces the whole simulation.
         self.seed = int(seed)
@@ -71,15 +78,63 @@ class SimEngine:
         """Time of the next scheduled event (``inf`` if none)."""
         return self._heap[0][0] if self._heap else float("inf")
 
+    def cancel(self, timeout: Timeout) -> None:
+        """Cancel a pending :class:`Timeout`: its callbacks never run.
+
+        The heap entry stays behind as a tombstone — popped-and-skipped by
+        the run loop (advancing the clock exactly as the old no-op callback
+        did) — and the heap is compacted in place once tombstones outnumber
+        live entries. Cancelling an already-fired or already-cancelled
+        timeout is a no-op.
+        """
+        if timeout.callbacks is None or timeout._dead:
+            return
+        timeout._dead = True
+        self._n_dead += 1
+        if self._n_dead > 64 and self._n_dead * 2 > len(self._heap):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop tombstoned heap entries, recycling their Timeout objects.
+
+        Entries keep their ``(when, seq)`` keys, so heapify preserves the
+        exact pop order of the surviving events.
+        """
+        pool = self._timeout_pool
+        heap = self._heap
+        live = []
+        for entry in heap:
+            ev = entry[2]
+            if type(ev) is Timeout and ev._dead:
+                ev._dead = False
+                if len(pool) < self._POOL_MAX:
+                    pool.append(ev)
+            else:
+                live.append(entry)
+        # In place: the run loop holds a local alias to this exact list.
+        heap[:] = live
+        heapq.heapify(heap)
+        self._n_dead = 0
+
     def step(self) -> None:
         """Process one scheduled event, advancing the clock to it."""
-        try:
-            when, _, event = heapq.heappop(self._heap)
-        except IndexError:
-            raise EmptySchedule("no scheduled events") from None
-        if when < self.now:
-            raise SimError(f"time went backwards: {when} < {self.now}")
-        self.now = when
+        while True:
+            try:
+                when, _, event = heapq.heappop(self._heap)
+            except IndexError:
+                raise EmptySchedule("no scheduled events") from None
+            if when < self.now:
+                raise SimError(f"time went backwards: {when} < {self.now}")
+            self.now = when
+            if type(event) is Timeout and event._dead:
+                # Cancelled timer: skip the tombstone (clock still advances).
+                self._n_dead -= 1
+                event._dead = False
+                if len(self._timeout_pool) < self._POOL_MAX:
+                    self._timeout_pool.append(event)
+                continue
+            break
+        self.events_processed += 1
         callbacks, event.callbacks = event.callbacks, None
         for cb in callbacks or ():
             cb(event)
@@ -103,27 +158,51 @@ class SimEngine:
             if stop_time < self.now:
                 raise ValueError(f"until={stop_time} is in the past (now={self.now})")
 
-        while self._heap:
-            if stop_event is not None and stop_event.processed:
-                break
-            if self.peek() > stop_time:
-                self.now = stop_time
-                break
-            try:
-                when, _, event = heapq.heappop(self._heap)
-            except IndexError:  # pragma: no cover - guarded by while
-                break
-            self.now = when
-            callbacks, event.callbacks = event.callbacks, None
-            for cb in callbacks or ():
-                cb(event)
-            if isinstance(event, Process) and not event._ok and not callbacks:
-                # A process died and nobody is joining it: surface the error.
-                raise event._value
-            if stop_event is not None and event is stop_event:
-                if not event._ok:
-                    raise event._value
-                return event._value
+        # Hot loop: locals for everything touched per event, tombstone
+        # skipping for cancelled timers, and batched dispatch of events
+        # sharing a timestamp (the stop horizon is checked once per batch —
+        # equal timestamps cannot exceed it; the stop *event* can only be
+        # processed by this loop popping it, which returns directly).
+        heap = self._heap
+        heappop = heapq.heappop
+        pool = self._timeout_pool
+        pool_max = self._POOL_MAX
+        timeout_cls = Timeout
+        n_dispatched = 0
+        try:
+            while heap:
+                if stop_event is not None and stop_event.callbacks is None:
+                    break
+                when = heap[0][0]
+                if when > stop_time:
+                    self.now = stop_time
+                    break
+                self.now = when
+                while heap and heap[0][0] == when:
+                    event = heappop(heap)[2]
+                    if event.__class__ is timeout_cls and event._dead:
+                        # Cancelled timer: the clock advanced, nothing runs.
+                        self._n_dead -= 1
+                        event._dead = False
+                        if len(pool) < pool_max:
+                            pool.append(event)
+                        continue
+                    n_dispatched += 1
+                    callbacks, event.callbacks = event.callbacks, None
+                    for cb in callbacks or ():
+                        cb(event)
+                    if not event._ok and not callbacks and isinstance(event, Process):
+                        # A process died and nobody is joining it: surface it.
+                        raise event._value
+                    if stop_event is not None and event is stop_event:
+                        if not event._ok:
+                            raise event._value
+                        return event._value
+                    if event.__class__ is timeout_cls and len(pool) < pool_max:
+                        # Fired and fully dispatched: back to the free list.
+                        pool.append(event)
+        finally:
+            self.events_processed += n_dispatched
         if stop_event is not None:
             # Reached when the loop broke (event already processed) or the
             # schedule drained; the in-loop pop of the event returns above.
@@ -144,6 +223,9 @@ class SimEngine:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
+        pool = self._timeout_pool
+        if pool:
+            return pool.pop()._reuse(delay, value)
         return Timeout(self, delay, value)
 
     def process(

@@ -22,6 +22,7 @@ Design notes:
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -81,22 +82,26 @@ class Event:
 
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event with ``value`` and schedule its callbacks."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimError(f"event {self!r} already triggered")
         self._ok = True
         self._value = value
-        self.env._schedule(self)
+        env = self.env
+        env._seq += 1
+        heappush(env._heap, (env.now, env._seq, self))
         return self
 
     def fail(self, exc: BaseException) -> "Event":
         """Trigger the event with an exception."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimError(f"event {self!r} already triggered")
         if not isinstance(exc, BaseException):
             raise TypeError(f"fail() needs an exception, got {exc!r}")
         self._ok = False
         self._value = exc
-        self.env._schedule(self)
+        env = self.env
+        env._seq += 1
+        heappush(env._heap, (env.now, env._seq, self))
         return self
 
     def add_callback(self, fn: Callable[["Event"], None]) -> None:
@@ -119,18 +124,42 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that triggers ``delay`` simulated seconds in the future."""
+    """An event that triggers ``delay`` simulated seconds in the future.
 
-    __slots__ = ("delay",)
+    Timeouts are by far the most-allocated event type (every simulated
+    cost charge is one), so the engine keeps a free list: :meth:`_reuse`
+    re-initialises a recycled instance in place of ``__init__``.  A
+    pending timeout can also be cancelled via ``SimEngine.cancel`` — the
+    ``_dead`` flag tombstones its heap entry, and its callbacks never run.
+    """
+
+    __slots__ = ("delay", "_dead")
 
     def __init__(self, env: "SimEngine", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        super().__init__(env)
-        self.delay = delay
+        self.env = env
+        self.callbacks = []
         self._ok = True
         self._value = value
-        env._schedule(self, delay=delay)
+        self.delay = delay
+        self._dead = False
+        env._seq += 1
+        heappush(env._heap, (env.now + delay, env._seq, self))
+
+    def _reuse(self, delay: float, value: Any = None) -> "Timeout":
+        """Re-initialise a pooled instance (same contract as ``__init__``)."""
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        self.callbacks = []
+        self._ok = True
+        self._value = value
+        self.delay = delay
+        self._dead = False
+        env = self.env
+        env._seq += 1
+        heappush(env._heap, (env.now + delay, env._seq, self))
+        return self
 
 
 class Initialize(Event):
@@ -139,10 +168,12 @@ class Initialize(Event):
     __slots__ = ()
 
     def __init__(self, env: "SimEngine") -> None:
-        super().__init__(env)
+        self.env = env
+        self.callbacks = []
         self._ok = True
         self._value = None
-        env._schedule(self)
+        env._seq += 1
+        heappush(env._heap, (env.now, env._seq, self))
 
 
 class Process(Event):
@@ -201,51 +232,59 @@ class Process(Event):
             return  # stale callback from an event this process detached from
         env = self.env
         env._active_process = self
+        gen = self.gen
         while True:
             try:
                 if self._interrupts:
                     exc = self._interrupts.pop(0)
-                    next_event = self.gen.throw(exc)
+                    next_event = gen.throw(exc)
                 elif event._ok:
-                    next_event = self.gen.send(event._value)
+                    next_event = gen.send(event._value)
                 else:
-                    next_event = self.gen.throw(event._value)
+                    next_event = gen.throw(event._value)
             except StopIteration as stop:
                 env._active_process = None
                 self._ok = True
                 self._value = stop.value
-                env._schedule(self)
+                env._seq += 1
+                heappush(env._heap, (env.now, env._seq, self))
                 return
             except Interrupt as exc:
                 # An unhandled interrupt terminates the process "with cause".
                 env._active_process = None
                 self._ok = False
                 self._value = exc
-                env._schedule(self)
+                env._seq += 1
+                heappush(env._heap, (env.now, env._seq, self))
                 return
             except BaseException as exc:
                 env._active_process = None
                 self._ok = False
                 self._value = exc
-                env._schedule(self)
+                env._seq += 1
+                heappush(env._heap, (env.now, env._seq, self))
                 return
 
-            if not isinstance(next_event, Event):
+            # EAFP: everything yieldable has a ``callbacks`` slot; anything
+            # else is a programming error surfaced as a SimError failure.
+            try:
+                cbs = next_event.callbacks
+            except AttributeError:
                 env._active_process = None
-                error = SimError(
+                self._ok = False
+                self._value = SimError(
                     f"process {self.name!r} yielded non-event {next_event!r}"
                 )
-                self._ok = False
-                self._value = error
-                env._schedule(self)
+                env._seq += 1
+                heappush(env._heap, (env.now, env._seq, self))
                 return
 
             self._target = next_event
-            if next_event.processed:
+            if cbs is None:
                 # Already-processed events resume synchronously (loop again).
                 event = next_event
                 continue
-            next_event.add_callback(self._resume)
+            cbs.append(self._resume)
             env._active_process = None
             return
 
@@ -266,7 +305,10 @@ class Condition(Event):
     def __init__(self, env: "SimEngine", events: Iterable[Event], wait_all: bool) -> None:
         super().__init__(env)
         self.events = tuple(events)
-        self._done: list[Event] = []
+        # (event, value) pairs captured at fire time: a Timeout sub-event
+        # may be recycled (engine free list) before the condition completes,
+        # so its _value cannot be read later.
+        self._done: list[tuple[Event, Any]] = []
         if not self.events:
             self._ok = True
             self._value = {}
@@ -285,10 +327,10 @@ class Condition(Event):
         if not event._ok:
             self.fail(event._value)
             return
-        self._done.append(event)
+        self._done.append((event, event._value))
         self._needed -= 1
         if self._needed <= 0:
-            self.succeed({ev: ev._value for ev in self._done})
+            self.succeed(dict(self._done))
 
 
 class AllOf(Condition):

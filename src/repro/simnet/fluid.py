@@ -39,7 +39,7 @@ _FINISH_SLACK_BYTES = 1e-3
 class Flow:
     """One in-progress bulk transfer."""
 
-    __slots__ = ("fid", "links", "remaining", "rate", "last", "gen", "done")
+    __slots__ = ("fid", "links", "remaining", "rate", "last", "gen", "done", "timer")
     _ids = itertools.count(0)
 
     def __init__(self, links: tuple[Hashable, ...], nbytes: float, done: "Event") -> None:
@@ -50,6 +50,7 @@ class Flow:
         self.last = 0.0  # sim time of the last progress drain
         self.gen = 0  # bumped on every rate change; stale timers no-op
         self.done = done
+        self.timer = None  # pending completion Timeout (cancelled on re-rate)
 
 
 class FluidNetwork:
@@ -120,6 +121,7 @@ class FluidNetwork:
             for key in flow.links:
                 self.link_flows[key].discard(flow.fid)
             flow.gen += 1  # stale completion timers become no-ops
+            self._cancel_timer(flow)
             flow.done.fail(exc_factory())
         self._g_active.set(len(self.flows))
         if victims:
@@ -159,30 +161,56 @@ class FluidNetwork:
         flow.last = now
 
     def _rerate(self, fids: set[int]) -> None:
-        """Re-rate the given flows and (re-)arm their completion timers."""
+        """Re-rate the given flows and (re-)arm their completion timers.
+
+        Two coalesced passes per step: drain everyone's progress first,
+        then compute the new rates and arm timers — one timer churn per
+        affected flow per re-rate, with the superseded timer cancelled
+        (tombstoned) instead of left to fire as a no-op.
+        """
+        touched = []
         for fid in sorted(fids):
             flow = self.flows.get(fid)
             if flow is None:
                 continue
             self._touch(flow)
-            rate = min(
-                self.link_caps[key] / len(self.link_flows[key]) for key in flow.links
-            )
-            flow.rate = rate
+            touched.append(flow)
+        link_caps = self.link_caps
+        link_flows = self.link_flows
+        for flow in touched:
+            links = flow.links
+            if len(links) == 2:
+                # Fast path: the wire path always shares a TX and an RX lane.
+                a, b = links
+                ra = link_caps[a] / len(link_flows[a])
+                rb = link_caps[b] / len(link_flows[b])
+                flow.rate = ra if ra < rb else rb
+            else:
+                flow.rate = min(
+                    link_caps[key] / len(link_flows[key]) for key in links
+                )
             flow.gen += 1
             self._arm(flow)
 
+    def _cancel_timer(self, flow: Flow) -> None:
+        if flow.timer is not None:
+            self.env.cancel(flow.timer)
+            flow.timer = None
+
     def _arm(self, flow: Flow) -> None:
+        self._cancel_timer(flow)
         if flow.rate <= 0:
             return
         horizon = flow.remaining / flow.rate
         timer = self.env.timeout(max(horizon, 0.0))
         gen = flow.gen
         timer.add_callback(lambda ev, f=flow, g=gen: self._on_timer(f, g))
+        flow.timer = timer
 
     def _on_timer(self, flow: Flow, gen: int) -> None:
         if gen != flow.gen or flow.fid not in self.flows:
             return  # superseded by a later rate change, or already finished
+        flow.timer = None
         self._touch(flow)
         if flow.remaining > max(_FINISH_SLACK_BYTES, flow.rate * 1e-9):
             # Float drift: not quite done; re-arm for the residual.

@@ -445,6 +445,22 @@ class SparkSimCluster:
         self.executors: list[SimExecutor] = []
         self.launch_seconds = 0.0
         self._launched = False
+        # Attribute estimate_size cache traffic to this cluster: the cache
+        # and its hit/miss tallies are process-global, so snapshot hooks
+        # publish the delta since cluster construction.
+        from repro.util.serialization import size_cache_stats
+
+        m = self.env.metrics
+        c_hits = m.counter("serialization.size_cache_hits")
+        c_misses = m.counter("serialization.size_cache_misses")
+        base_hits, base_misses = size_cache_stats()
+
+        def _publish_size_cache() -> None:
+            hits, misses = size_cache_stats()
+            c_hits.value = float(hits - base_hits)
+            c_misses.value = float(misses - base_misses)
+
+        m.on_snapshot(_publish_size_cache)
 
     @classmethod
     def from_conf(

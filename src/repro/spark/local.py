@@ -21,7 +21,7 @@ import numpy as np
 from repro.spark.dag import Job, Stage
 from repro.spark.rdd import ShuffleDependency, TaskContext
 from repro.spark.tracing import StageTrace
-from repro.util.serialization import sizeof
+from repro.util.serialization import estimate_size, sizeof
 
 
 class MapOutputRegistry:
@@ -159,7 +159,7 @@ class LocalBackend:
             for rid, bucket in enumerate(bucket_lists):
                 if not bucket:
                     continue
-                nbytes = sum(sizeof(r) for r in bucket)
+                nbytes = sum(estimate_size(r) for r in bucket)
                 self.map_outputs.put(dep.shuffle_id, map_id, rid, bucket, nbytes)
                 trace.shuffle_matrix[map_id, rid] = nbytes
                 trace.shuffle_records[map_id, rid] = len(bucket)

@@ -23,7 +23,7 @@ from repro.util.units import (
 )
 from repro.util.config import Config, ConfigError
 from repro.util.stats import OnlineStats, percentile, summarize
-from repro.util.serialization import sizeof, SizedPayload
+from repro.util.serialization import estimate_size, size_cache_stats, sizeof, SizedPayload
 
 __all__ = [
     "KB",
@@ -46,6 +46,8 @@ __all__ = [
     "OnlineStats",
     "percentile",
     "summarize",
+    "estimate_size",
+    "size_cache_stats",
     "sizeof",
     "SizedPayload",
 ]

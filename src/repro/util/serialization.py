@@ -23,6 +23,70 @@ _PRIMITIVE_SIZES = {
     type(None): 1,
 }
 
+# estimate_size memo: shape key -> serialized size. Only shapes whose size
+# is provably content-independent are cached (see _shape_key), so a cache
+# hit always returns exactly what sizeof() would have computed.
+_SIZE_CACHE: dict[Any, int] = {}
+_cache_hits = 0
+_cache_misses = 0
+
+
+def _shape_key(obj: Any) -> Any:
+    """Hashable shape key, or None when the size depends on content.
+
+    Shapes covered: fixed-size primitives, length-keyed bytes/bytearray,
+    ASCII strings (utf-8 length == character length), and tuples/lists
+    composed of the above. Anything else — dicts, non-ASCII strings,
+    arbitrary objects — returns None and is sized directly.
+    """
+    t = type(obj)
+    if t in _PRIMITIVE_SIZES:
+        return t
+    if t is bytes or t is bytearray:
+        return (t, len(obj))
+    if t is str:
+        return (t, len(obj)) if obj.isascii() else None
+    if t is tuple or t is list:
+        parts = []
+        for x in obj:
+            k = _shape_key(x)
+            if k is None:
+                return None
+            parts.append(k)
+        return (t, tuple(parts))
+    return None
+
+
+def estimate_size(obj: Any) -> int:
+    """:func:`sizeof` with memoization over repeated shapes.
+
+    Shuffle writes size every record of a bucket, and real workloads emit
+    millions of records of a handful of shapes (``(int, bytes(1000))`` in
+    the OHB kernels). The cache maps shape keys to sizes; shapes whose
+    size is content-dependent fall through to :func:`sizeof` uncached.
+    """
+    global _cache_hits, _cache_misses
+    key = _shape_key(obj)
+    if key is None:
+        return sizeof(obj)
+    size = _SIZE_CACHE.get(key)
+    if size is None:
+        _cache_misses += 1
+        size = _SIZE_CACHE[key] = sizeof(obj)
+    else:
+        _cache_hits += 1
+    return size
+
+
+def size_cache_stats() -> tuple[int, int]:
+    """Process-lifetime ``(hits, misses)`` of the estimate_size cache.
+
+    Callers that attribute cache traffic to one run (the obs snapshot
+    hook in ``spark.deploy``) record a baseline at start and publish the
+    difference.
+    """
+    return _cache_hits, _cache_misses
+
 
 def sizeof(obj: Any) -> int:
     """Estimated serialized size of ``obj`` in bytes.

@@ -1,0 +1,82 @@
+"""Parallel experiment harness: determinism and jobs plumbing."""
+
+import os
+
+import pytest
+
+from repro.harness.parallel import (
+    parallel_map,
+    resolve_jobs,
+    run_ohb_cells,
+)
+from repro.harness.systems import FRONTERA
+from repro.util.units import GiB
+from repro.workloads.ohb import GROUP_BY, SORT_BY
+
+
+class TestResolveJobs:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs(None) == 1
+
+    def test_explicit_arg_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "8")
+        assert resolve_jobs(2) == 2
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        assert resolve_jobs(None) == 4
+
+    def test_floor_of_one(self):
+        assert resolve_jobs(0) == 1
+        assert resolve_jobs(-3) == 1
+
+
+def _square(x):
+    return x * x
+
+
+class TestParallelMap:
+    def test_serial_inline(self):
+        assert parallel_map(_square, [3, 1, 2], jobs=1) == [9, 1, 4]
+
+    def test_pool_preserves_order(self):
+        assert parallel_map(_square, list(range(8)), jobs=2) == [
+            x * x for x in range(8)
+        ]
+
+    def test_single_item_skips_pool(self):
+        assert parallel_map(_square, [5], jobs=4) == [25]
+
+
+def _row(cell):
+    return (
+        cell.workload,
+        cell.n_workers,
+        cell.transport,
+        cell.total_seconds,
+        cell.result.stage_seconds,
+    )
+
+
+class TestJobsDeterminism:
+    @pytest.fixture(scope="class")
+    def specs(self):
+        # Cheap cells: tiny data, low fidelity — this is about plumbing,
+        # not simulation scale.
+        return [
+            (workload.name, 2, 1 * GiB, transport, 0.05, FRONTERA.name)
+            for workload in (GROUP_BY, SORT_BY)
+            for transport in ("nio", "mpi-opt")
+        ]
+
+    def test_rows_identical_across_jobs_counts(self, specs):
+        serial = run_ohb_cells(specs, jobs=1)
+        fanned = run_ohb_cells(specs, jobs=4)
+        assert [_row(c) for c in serial] == [_row(c) for c in fanned]
+
+    def test_row_order_follows_spec_order(self, specs):
+        cells = run_ohb_cells(specs, jobs=4)
+        assert [(c.workload, c.transport) for c in cells] == [
+            (name, transport) for (name, _, _, transport, _, _) in specs
+        ]

@@ -131,3 +131,78 @@ class TestProbes:
         assert not ev.triggered
         engine.deliver(make_envelope(tag=5))
         assert ev.triggered
+
+    def test_wake_order_across_wildcard_buckets(self, env, engine):
+        # Waiters land in four different buckets (exact, ANY_SOURCE,
+        # ANY_TAG, both) but must wake in registration order — the
+        # bucketed rewrite merges them by waiter seq.
+        specs = [
+            (0, 1), (ANY_SOURCE, 1), (0, ANY_TAG), (ANY_SOURCE, ANY_TAG),
+            (0, 1), (ANY_SOURCE, ANY_TAG),
+        ]
+        order = []
+        for i, (src, tag) in enumerate(specs):
+            ev = engine.probe_event(src, tag, 100)
+            ev.callbacks.append(lambda e, i=i: order.append(i))
+        engine.deliver(make_envelope(src_rank=0, tag=1))
+        env.run()
+        assert order == [0, 1, 2, 3, 4, 5]
+
+    def test_nonmatching_buckets_stay_parked(self, env, engine):
+        miss_src = engine.probe_event(3, 1, 100)
+        miss_tag = engine.probe_event(0, 9, 100)
+        miss_ctx = engine.probe_event(0, 1, 777)
+        hit = engine.probe_event(0, 1, 100)
+        engine.deliver(make_envelope(src_rank=0, tag=1))
+        assert hit.triggered
+        assert not miss_src.triggered
+        assert not miss_tag.triggered
+        assert not miss_ctx.triggered
+
+    def test_wake_probes_empty_drains_in_order(self, env, engine):
+        order = []
+        for i, (src, tag) in enumerate([(0, 1), (ANY_SOURCE, 5), (2, ANY_TAG)]):
+            ev = engine.probe_event(src, tag, 100)
+            ev.callbacks.append(lambda e, i=i: order.append(i))
+        engine.wake_probes_empty()
+        env.run()
+        assert order == [0, 1, 2]
+        # The structure is fully drained: a later delivery wakes nothing.
+        engine.deliver(make_envelope())
+        assert len(engine.unexpected) == 1
+
+
+class TestFailPosted:
+    def test_thousand_posted_fail_half(self, env, engine):
+        # 1000 posted receives spread over exact buckets and the wildcard
+        # list; failing every even tag must complete exactly those 500 in
+        # post order and leave the rest matchable.
+        reqs = [Request(env, "recv") for _ in range(1000)]
+        for i, req in enumerate(reqs):
+            if i % 3 == 0:
+                engine.post_recv(ANY_SOURCE, i, 100, req)
+            else:
+                engine.post_recv(i % 7, i, 100, req)
+        fail_order = []
+        for i, req in enumerate(reqs):
+            req.event.callbacks.append(lambda e, i=i: fail_order.append(i))
+        n = engine.fail_posted(
+            lambda p: p.tag % 2 == 0, lambda: RuntimeError("rank died")
+        )
+        assert n == 500
+        env.run()
+        assert fail_order == list(range(0, 1000, 2))  # post order
+        for i, req in enumerate(reqs):
+            if i % 2 == 0:
+                assert req.event.triggered and not req.event.ok
+            else:
+                assert not req.event.triggered
+        assert len(engine.posted) == 500
+
+    def test_survivors_still_match(self, env, engine):
+        keep, kill = Request(env, "recv"), Request(env, "recv")
+        engine.post_recv(0, 1, 100, keep)
+        engine.post_recv(0, 2, 100, kill)
+        assert engine.fail_posted(lambda p: p.tag == 2, RuntimeError) == 1
+        engine.deliver(make_envelope(tag=1))
+        assert engine.test_matches[0][1].request is keep
