@@ -91,6 +91,77 @@ class TestFig9Shape:
         assert basic >= 10.0 * opt
 
 
+@pytest.fixture(scope="module")
+def causal_cells(jobs):
+    """The 2-worker GroupBy cells re-run with causal flight recording."""
+    from repro.harness.parallel import run_ohb_cells
+    from repro.harness.systems import FRONTERA
+
+    specs = [
+        (GROUP_BY.name, 2, 28 * GiB, transport, OHB_FIDELITY, FRONTERA.name, True)
+        for transport in ("nio", "mpi-basic", "mpi-opt")
+    ]
+    return run_ohb_cells(specs, jobs)
+
+
+class TestFig9CriticalPath:
+    """Sec VI-D as a causal claim: the poll tax sits on Basic's critical path."""
+
+    def test_poll_tax_share_10x_basic_vs_opt(self, causal_cells):
+        from repro.obs import critical_path
+
+        share = {
+            c.transport: critical_path(c.result).share("poll-tax")
+            for c in causal_cells
+        }
+        assert share["mpi-basic"] > 0.0
+        assert share["mpi-basic"] >= 10.0 * share["mpi-opt"]
+        assert share["nio"] == 0.0  # no matching engine at all
+
+    def test_flight_logs_complete(self, causal_cells):
+        for c in causal_cells:
+            flight = c.result.flight
+            assert flight is not None and flight.dropped == 0
+            assert flight.open_spans() == []
+
+    def test_tracing_does_not_perturb_figure_rows(self, causal_cells, cells):
+        # The zero-cost contract at benchmark scale: the traced cells
+        # reproduce the untraced cells' rows exactly.
+        untraced = {
+            (c.workload, c.n_workers, c.transport): c
+            for c in cells
+        }
+        for traced in causal_cells:
+            base = untraced[(traced.workload, traced.n_workers, traced.transport)]
+            assert traced.total_seconds == base.total_seconds
+            assert dict(traced.result.stage_seconds) == dict(
+                base.result.stage_seconds
+            )
+
+
+def test_fig9_rows_match_committed_goldens(cells):
+    """With causal tracing off (the default), this PR must reproduce the
+    committed figure rows bit-exactly — the observability side channel may
+    not move a single simulated number."""
+    import json
+    import pathlib
+
+    golden_path = (
+        pathlib.Path(__file__).resolve().parent.parent
+        / "results"
+        / "BENCH_fig9_basic_vs_optimized.json"
+    )
+    golden = {
+        (r["workload"], r["n_workers"], r["transport"]): r
+        for r in json.loads(golden_path.read_text())["cells"]
+    }
+    assert golden
+    for c in cells:
+        row = golden[(c.workload, c.n_workers, c.transport)]
+        assert c.total_seconds == row["total_seconds"]
+        assert dict(c.result.stage_seconds) == row["stage_seconds"]
+
+
 def test_fig9_bench_json(cells):
     path = write_bench_json("fig9_basic_vs_optimized", ohb_payload(cells))
     import json

@@ -19,6 +19,7 @@ import pytest
 from benchmarks.conftest import RESULTS_DIR
 from repro.harness.perfbench import (
     PINNED_CELLS,
+    PRE_PR_BASELINE,
     regressions,
     run_perf_suite,
 )
@@ -56,9 +57,24 @@ def test_speedup_vs_pre_pr_baseline_recorded(payload):
     # paired alternating-process ratios, whose heavy-cell entry is the
     # >=3x serial win the kernel work bought.
     speedups = payload["baseline"]["speedup_vs_baseline"]
-    assert set(speedups) == {c["name"] for c in payload["cells"]}
+    # Cells added after the fast-path PR (e.g. the causal-tracing pair's
+    # obs-on twin) have no pre-PR wall to divide by.
+    baselined = {c["name"] for c in payload["cells"]} & set(PRE_PR_BASELINE)
+    assert set(speedups) == baselined
     assert payload["baseline"]["paired_speedup"]["fig10_groupby_8w_mpi-basic"] >= 3.0
     assert payload["baseline"]["best_speedup"] >= 3.0
+
+
+def test_causal_tracing_overhead_bounded(payload):
+    # The obs-off/obs-on pair of the same fig9 cell: flight recording may
+    # cost bounded wall time but must not change the simulation itself.
+    overhead = payload["obs_causal_overhead"]
+    assert overhead["pair"] == [
+        "fig9_groupby_2w_mpi-basic",
+        "fig9_groupby_2w_mpi-basic_causal",
+    ]
+    assert overhead["events_identical"] is True
+    assert overhead["wall_ratio"] < 1.5
 
 
 def test_no_events_per_sec_regression_vs_committed(payload):

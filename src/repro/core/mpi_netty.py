@@ -50,7 +50,7 @@ def _binding_of(channel: Channel) -> CommBinding:
     return binding
 
 
-def _mpi_isend(channel: Channel, payload: Any, nbytes: int) -> None:
+def _mpi_isend(channel: Channel, payload: Any, nbytes: int, trace_ctx=None) -> None:
     binding = _binding_of(channel)
     tag = channel.attributes[ATTR_TAG]
     endpoint: "MpiEndpoint" = channel.event_loop.mpi_endpoint
@@ -61,6 +61,7 @@ def _mpi_isend(channel: Channel, payload: Any, nbytes: int) -> None:
         tag,
         payload,
         nbytes,
+        trace_ctx=trace_ctx,
     )
 
 
@@ -74,8 +75,20 @@ def optimized_transport_write(channel: Channel, msg: Any, promise: "Event") -> N
         tag, body_nbytes = peek_message_type(msg)
         if tag in MPI_OPTIMIZED_BODY_TYPES:
             header_only = WireFrame(header=msg.header, body=None, body_nbytes=0)
+            body_ctx = None
+            causal = channel.env.causal
+            if causal.enabled and msg.trace_ctx is not None:
+                # The split gives the MPI body leg its own span, a child of
+                # the message's span; the header keeps the original context
+                # so the receive side can join the two back together.
+                header_only.trace_ctx = msg.trace_ctx
+                body_ctx = causal.child(msg.trace_ctx)
+                causal.send(
+                    body_ctx, tag, body_nbytes,
+                    channel=channel.id.as_long_text(), leg="mpi-body",
+                )
             channel.socket.send(header_only, len(msg.header))
-            _mpi_isend(channel, msg.body, body_nbytes)
+            _mpi_isend(channel, msg.body, body_nbytes, trace_ctx=body_ctx)
             try:
                 c_hdr_msgs, c_hdr_bytes, c_body_msgs, c_body_bytes = (
                     channel._mpi_opt_counters
@@ -137,6 +150,12 @@ class MpiBodyReceiveHandler(ChannelHandler):
             return
         frame.body = body
         frame.body_nbytes = body_nbytes
+        if frame.trace_ctx is not None:
+            # Header (socket) and body (MPI) legs reunite here — the join
+            # edge of the causal model; the decoder's msg.recv follows.
+            channel.env.causal.join(
+                frame.trace_ctx, body_nbytes, channel=channel.id.as_long_text()
+            )
         ctx.fire_channel_read(frame)
 
 
@@ -147,7 +166,7 @@ class MpiBodyReceiveHandler(ChannelHandler):
 def basic_transport_write(channel: Channel, msg: Any, promise: "Event") -> None:
     """Outbound: ALL messages over MPI point-to-point (Sec. VI-D)."""
     if isinstance(msg, WireFrame):
-        _mpi_isend(channel, msg, msg.nbytes)
+        _mpi_isend(channel, msg, msg.nbytes, trace_ctx=msg.trace_ctx)
         try:
             c_msgs, c_bytes = channel._mpi_basic_counters
         except AttributeError:

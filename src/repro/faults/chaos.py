@@ -76,6 +76,8 @@ class ChaosScenario:
     shuffle_bytes: int = 256 * MiB
     deadline_s: float = 120.0
     policy: RecoveryPolicy = field(default_factory=RecoveryPolicy)
+    # Causal tracing of the faulted run (flight log of span aborts).
+    obs_causal: bool = False
 
     def build_cluster(self) -> SparkSimCluster:
         return SparkSimCluster(
@@ -85,6 +87,7 @@ class ChaosScenario:
             cores_per_executor=self.cores_per_executor,
             seed=self.plan.seed,
             mpi_fault_mode=self.mpi_fault_mode,
+            obs_causal=self.obs_causal,
         )
 
     def build_profile(self) -> WorkloadProfile:

@@ -89,6 +89,7 @@ class FaultInjector:
     def _record(self, kind: str, detail: str) -> None:
         if self.report is not None:
             self.report.record(self.env.now, kind, detail)
+        self.env.causal.event("fault.inject", None, kind=kind, detail=detail)
 
     def _fire(self, spec: FaultSpec) -> None:
         self.fired.append(spec)

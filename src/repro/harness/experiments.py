@@ -51,10 +51,15 @@ def _run_ohb(
     transport: str,
     fidelity: float,
     system=FRONTERA,
+    obs_causal: bool = False,
 ) -> OhbCell:
     # Observability on: cells carry a MetricsSnapshot so reports can show
     # measured polling tax / event-loop busy fractions (Sec. VI-D).
-    sim = SparkSimCluster(system, n_workers, transport, obs_enabled=True)
+    # ``obs_causal`` additionally attaches a flight recording
+    # (spark.repro.obs.causal) for critical-path analysis / the run report.
+    sim = SparkSimCluster(
+        system, n_workers, transport, obs_enabled=True, obs_causal=obs_causal
+    )
     sim.launch()
     profile = workload.build_profile(system, n_workers, data_bytes, fidelity=fidelity)
     result = sim.run_profile(profile)
@@ -110,6 +115,40 @@ def fig9_basic_vs_optimized(
         for transport in ("nio", "mpi-basic", "mpi-opt")
     ]
     return run_ohb_cells(specs, jobs)
+
+
+def fig9_critical_path(
+    fidelity: float = 0.25,
+    jobs: int | None = None,
+    report_path: str | None = None,
+) -> list[tuple[OhbCell, "CriticalPathReport"]]:
+    """Causal critical-path decomposition of the Fig-9 GroupBy contrast.
+
+    Runs the 2-worker / 28 GB GroupBy cell under every Fig-9 transport
+    with ``spark.repro.obs.causal`` on, and decomposes each run's
+    critical path into compute / serialize / queue / wire / poll-tax /
+    fetch-wait segments.  The Basic design's poll-tax share is the
+    measured form of the paper's Sec VI-D starvation claim.
+
+    ``report_path`` additionally writes the Spark-UI-style HTML run
+    report (stage Gantt, message timelines, the same tables) next to the
+    ``BENCH_*.json`` files — e.g. ``results/fig9_critical_path.html``.
+    """
+    from repro.obs import analyze, write_report
+
+    specs = [
+        (GROUP_BY.name, 2, 28 * GiB, transport, fidelity, FRONTERA.name, True)
+        for transport in ("nio", "mpi-basic", "mpi-opt")
+    ]
+    cells = run_ohb_cells(specs, jobs)
+    pairs = [(cell, analyze(cell.result.flight, cell.transport)) for cell in cells]
+    if report_path is not None:
+        write_report(
+            report_path,
+            [(cell.result, cp) for cell, cp in pairs],
+            title="Fig 9 GroupByTest — causal critical paths",
+        )
+    return pairs
 
 
 # ---------------------------------------------------------------------------

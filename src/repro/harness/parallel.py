@@ -58,10 +58,13 @@ def run_ohb_cell(spec: tuple) -> Any:
     """Worker: one OHB cell from a primitive spec.
 
     ``spec`` is ``(workload_name, n_workers, data_bytes, transport,
-    fidelity, system_name)`` — the argument order of
-    ``experiments._run_ohb`` with the system passed by name.
+    fidelity, system_name[, obs_causal])`` — the argument order of
+    ``experiments._run_ohb`` with the system passed by name.  The
+    optional seventh element turns on causal flight recording
+    (``spark.repro.obs.causal``); six-element specs stay valid.
     """
-    workload_name, n_workers, data_bytes, transport, fidelity, system_name = spec
+    workload_name, n_workers, data_bytes, transport, fidelity, system_name = spec[:6]
+    obs_causal = bool(spec[6]) if len(spec) > 6 else False
     from repro.harness.experiments import _run_ohb
     from repro.harness.systems import SYSTEMS
     from repro.workloads.ohb import GROUP_BY, SORT_BY
@@ -74,6 +77,7 @@ def run_ohb_cell(spec: tuple) -> Any:
         transport,
         fidelity,
         system=SYSTEMS[system_name],
+        obs_causal=obs_causal,
     )
 
 

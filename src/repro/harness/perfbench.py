@@ -87,8 +87,12 @@ def _pingpong_cell(transport: str) -> int:
     return res.events_processed
 
 
-def _ohb_cell(n_workers: int, data_bytes: int, transport: str) -> int:
-    sim = SparkSimCluster(FRONTERA, n_workers, transport, obs_enabled=True)
+def _ohb_cell(
+    n_workers: int, data_bytes: int, transport: str, obs_causal: bool = False
+) -> int:
+    sim = SparkSimCluster(
+        FRONTERA, n_workers, transport, obs_enabled=True, obs_causal=obs_causal
+    )
     sim.launch()
     profile = GROUP_BY.build_profile(FRONTERA, n_workers, data_bytes, fidelity=0.25)
     sim.run_profile(profile)
@@ -111,6 +115,11 @@ PINNED_CELLS: dict[str, Callable[[], int]] = {
     "fig8_pingpong_mpi": lambda: _pingpong_cell("mpi-basic"),
     "fig9_groupby_2w_nio": lambda: _ohb_cell(2, 28 * GiB, "nio"),
     "fig9_groupby_2w_mpi-basic": lambda: _ohb_cell(2, 28 * GiB, "mpi-basic"),
+    # Same cell with causal flight recording on: the pair measures the
+    # tracing overhead, and the payload's obs_causal_overhead reports it.
+    "fig9_groupby_2w_mpi-basic_causal": lambda: _ohb_cell(
+        2, 28 * GiB, "mpi-basic", obs_causal=True
+    ),
     "fig9_groupby_2w_mpi-opt": lambda: _ohb_cell(2, 28 * GiB, "mpi-opt"),
     "fig10_groupby_8w_mpi-basic": lambda: _ohb_cell(8, 8 * 14 * GiB, "mpi-basic"),
     "fig12_terasort_frontera_mpi-opt": lambda: _hibench_cell("TeraSort", "mpi-opt"),
@@ -156,6 +165,19 @@ def run_perf_suite(
         for r in rows
         if PRE_PR_BASELINE.get(r.name) and r.wall_seconds > 0
     }
+    # Causal-tracing overhead: wall ratio of the paired obs-on/obs-off
+    # cell (>1 means tracing costs wall time; the figure rows themselves
+    # are unaffected — tracing schedules nothing).
+    by_name = {r.name: r for r in rows}
+    obs_overhead = None
+    off = by_name.get("fig9_groupby_2w_mpi-basic")
+    on = by_name.get("fig9_groupby_2w_mpi-basic_causal")
+    if off is not None and on is not None and off.wall_seconds > 0:
+        obs_overhead = {
+            "pair": [off.name, on.name],
+            "wall_ratio": on.wall_seconds / off.wall_seconds,
+            "events_identical": on.events_processed == off.events_processed,
+        }
     return {
         "schema": SCHEMA,
         "host": {
@@ -163,6 +185,7 @@ def run_perf_suite(
             "cpus": os.cpu_count(),
         },
         "cells": [asdict(r) for r in rows],
+        "obs_causal_overhead": obs_overhead,
         "peak_rss_kib": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
         "baseline": {
             "description": (

@@ -45,6 +45,9 @@ class Envelope:
     protocol: Protocol
     send_done: "Event | None" = None  # rendezvous: triggered when transfer completes
     seq: int = field(default_factory=lambda: next(_seq))
+    # Causal trace context (repro.obs.causal): in-memory only, not part of
+    # the wire size or matching identity.
+    trace_ctx: Any = field(default=None, compare=False, repr=False)
 
     def matches(self, source: int, tag: int, context_id: int) -> bool:
         """Does this envelope satisfy a recv/probe spec?"""

@@ -175,6 +175,8 @@ class MatchingEngine:
             # matched a pre-posted receive: fast path, no extra copy
             self.n_posted_matches += 1
             self._h_recv_wait.observe(self.env.now - cand.posted_at)
+            if env_msg.trace_ctx is not None:
+                self.env.causal.match(env_msg.trace_ctx, 0.0, False)
             self.on_match(env_msg, cand, False)
             return
         buckets = self._ux.get(env_msg.context_id)
@@ -246,6 +248,11 @@ class MatchingEngine:
             self._g_unexpected_depth.set(self._ux_count)
             self._h_unexpected_wait.observe(now - arrived)
             self._h_recv_wait.observe(0.0)
+            if env_msg.trace_ctx is not None:
+                # The dwell in the unexpected queue is the poll-discovery
+                # delay the critical-path analyzer classifies (poll-tax for
+                # the Basic design, queueing for Optimized).
+                self.env.causal.match(env_msg.trace_ctx, now - arrived, True)
             self.on_match(
                 env_msg,
                 PostedRecv(source, tag, context_id, request, posted_at=now),

@@ -101,6 +101,7 @@ class MPIProcess:
         tag: int,
         payload: Any,
         nbytes: int | None,
+        trace_ctx: Any = None,
     ) -> Generator:
         """Blocking send: eager returns after local overhead; rendezvous
         returns once the payload has been pulled by the receiver.
@@ -120,7 +121,7 @@ class MPIProcess:
             self.world._c_send_eager.inc()
             envl = Envelope(
                 self.gid, src_rank, dst_gid, context_id, tag, payload, size,
-                Protocol.EAGER,
+                Protocol.EAGER, trace_ctx=trace_ctx,
             )
             self.world._route(envl)
             return
@@ -128,7 +129,7 @@ class MPIProcess:
         done = self.env.event()
         envl = Envelope(
             self.gid, src_rank, dst_gid, context_id, tag, payload, size,
-            Protocol.RENDEZVOUS, send_done=done,
+            Protocol.RENDEZVOUS, send_done=done, trace_ctx=trace_ctx,
         )
         self.world._route(envl)
         yield done
@@ -141,6 +142,7 @@ class MPIProcess:
         tag: int,
         payload: Any,
         nbytes: int | None,
+        trace_ctx: Any = None,
     ) -> Request:
         req = Request(self.env, "send")
         size = sizeof(payload) if nbytes is None else int(nbytes)
@@ -152,7 +154,10 @@ class MPIProcess:
             return req
 
         def _run() -> Generator:
-            yield from self._send(dst_gid, src_rank, context_id, tag, payload, size)
+            yield from self._send(
+                dst_gid, src_rank, context_id, tag, payload, size,
+                trace_ctx=trace_ctx,
+            )
 
         proc = self.env.process(_run(), name=f"isend:{self.name}")
         proc.add_callback(
@@ -373,6 +378,10 @@ class MPIWorld:
         if self.aborted:
             return
         self.aborted = True
+        # Causal tracing: an abort orphans every in-flight span — close them
+        # all with a terminal mpi.abort event so the flight log explains why.
+        if self.env.causal.enabled:
+            self.env.causal.abort(reason)
         exc_factory = lambda: WorldAbortedError(  # noqa: E731
             f"MPI world aborted: {reason}"
         )

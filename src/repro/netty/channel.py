@@ -100,6 +100,12 @@ class Channel:
             self.socket.close()
             self.event_loop.deregister(self)
             self.pipeline.fire_channel_inactive()
+            # Sweep spans the pipeline handlers didn't close (e.g. responses
+            # encoded on a dying server channel that will never arrive) so a
+            # dead channel can't leave dangling sends in the flight log.
+            causal = self.env.causal
+            if causal.enabled and causal.flight.open_on(self.id.as_long_text()):
+                causal.channel_closed(self.id.as_long_text(), "channel closed")
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Channel {self.id} {self.local_address}->{self.remote_address}>"

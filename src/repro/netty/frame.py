@@ -9,7 +9,7 @@ Netty's zero-copy ``FileRegion`` that Spark uses for shuffle blocks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any
 
 from repro.netty.bytebuf import ByteBuf
@@ -22,6 +22,10 @@ class WireFrame:
     header: bytes
     body: Any = None
     body_nbytes: int = 0
+    # Causal trace context (repro.obs.causal), carried as an in-memory side
+    # channel only — never serialized into the header bytes, so frames are
+    # byte-identical with tracing on or off.
+    trace_ctx: Any = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         # A None body with body_nbytes > 0 is valid: the simulation often

@@ -24,6 +24,10 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.obs.causal import NULL_CAUSAL, CausalTracer, NullCausal, TraceContext
+from repro.obs.critpath import CriticalPathReport, StageCriticalPath, analyze, critical_path
+from repro.obs.flightrec import FlightEvent, FlightRecorder
+from repro.obs.report_html import render_report, write_report
 from repro.obs.registry import (
     Counter,
     Gauge,
@@ -48,7 +52,20 @@ __all__ = [
     "NullTracer",
     "NULL_TRACER",
     "Span",
+    "CausalTracer",
+    "NullCausal",
+    "NULL_CAUSAL",
+    "TraceContext",
+    "FlightEvent",
+    "FlightRecorder",
+    "CriticalPathReport",
+    "StageCriticalPath",
+    "analyze",
+    "critical_path",
+    "render_report",
+    "write_report",
     "obs_from_conf",
+    "causal_from_conf",
     "polling_tax_seconds",
     "loop_busy_fraction",
     "iprobe_calls",
@@ -63,7 +80,18 @@ def obs_from_conf(conf: "Config") -> tuple[bool, bool]:
     """
     enabled = conf.get_bool("spark.repro.obs.enabled", False)
     trace = conf.get_bool("spark.repro.obs.trace", False)
-    return (enabled or trace, trace)
+    causal = conf.get_bool("spark.repro.obs.causal", False)
+    return (enabled or trace or causal, trace)
+
+
+def causal_from_conf(conf: "Config") -> bool:
+    """Read ``spark.repro.obs.causal``: message-level causal tracing.
+
+    Kept separate from :func:`obs_from_conf` so that function's
+    ``(enabled, trace)`` contract stays stable; causal tracing implies
+    ``enabled`` through ``obs_from_conf`` above.
+    """
+    return conf.get_bool("spark.repro.obs.causal", False)
 
 
 # -- derived report metrics ---------------------------------------------------

@@ -1,0 +1,227 @@
+"""Critical-path extraction from a causal flight-recorder log.
+
+Answers the question the paper's Sec VI-D/E analysis revolves around:
+*which dependency chain made this stage slow, and where inside it did the
+time go?*  For every stage the analyzer picks the critical task (the one
+finishing last — the stage barrier waits for it) and decomposes its
+longest dependency chain into six segments:
+
+* ``compute``    — task compute + combine time (inflated under Basic),
+* ``serialize``  — shuffle-write (spill/serialization) time,
+* ``queue``      — server turnaround between a request landing and its
+  response leaving, plus (for mpi-opt) body dwell before the triggered
+  ``MPI_Recv`` was posted,
+* ``wire``       — time on the fabric for the chain's request/response
+  legs (matching dwell subtracted),
+* ``poll-tax``   — unexpected-queue dwell of MPI-matched messages under
+  MPI4Spark-Basic: the busy-poll's discovery delay, per message.  Only
+  the Basic design busy-polls, so this segment is zero by construction
+  elsewhere — the per-transport classification the paper's Fig 9
+  argument rests on,
+* ``fetch-wait`` — the remainder of the task's measured fetch wait not
+  covered by the extracted chain (windowed fetches that overlapped it).
+
+The API is assertion-friendly: ``report.share("poll-tax")`` is what the
+fig9 benchmark compares across Basic and Optimized (≥10× is asserted in
+``benchmarks/test_fig9_basic_vs_opt.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.flightrec import FlightRecorder
+
+SEGMENTS = ("compute", "serialize", "queue", "wire", "poll-tax", "fetch-wait")
+
+
+@dataclass
+class StageCriticalPath:
+    """The critical task of one stage and its chain decomposition."""
+
+    stage: str
+    task: str
+    start_s: float
+    end_s: float
+    segments: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_s(self) -> float:
+        return sum(self.segments.values())
+
+    def seconds(self, segment: str) -> float:
+        return self.segments.get(segment, 0.0)
+
+
+@dataclass
+class CriticalPathReport:
+    """Per-stage critical paths for one run, with roll-up accessors."""
+
+    transport: str
+    stages: list[StageCriticalPath] = field(default_factory=list)
+
+    def segment_seconds(self, segment: str) -> float:
+        return sum(s.seconds(segment) for s in self.stages)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(s.total_s for s in self.stages)
+
+    def share(self, segment: str) -> float:
+        """Fraction of the whole critical path spent in ``segment``."""
+        total = self.total_seconds
+        return self.segment_seconds(segment) / total if total > 0 else 0.0
+
+    def stage(self, name: str) -> StageCriticalPath | None:
+        return next((s for s in self.stages if s.stage == name), None)
+
+    def render(self) -> str:
+        """Text table: one row per stage, one column per segment."""
+        cols = ["stage", "crit task"] + list(SEGMENTS) + ["total"]
+        rows = [
+            [
+                s.stage,
+                s.task,
+                *(f"{s.seconds(seg):.4f}" for seg in SEGMENTS),
+                f"{s.total_s:.4f}",
+            ]
+            for s in self.stages
+        ]
+        rows.append(
+            ["TOTAL", "", *(f"{self.segment_seconds(seg):.4f}" for seg in SEGMENTS),
+             f"{self.total_seconds:.4f}"]
+        )
+        widths = [
+            max(len(cols[i]), *(len(r[i]) for r in rows)) for i in range(len(cols))
+        ]
+        lines = [
+            f"critical path [{self.transport}]",
+            "  ".join(c.ljust(w) for c, w in zip(cols, widths)),
+            "  ".join("-" * w for w in widths),
+        ]
+        for r in rows:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(r, widths)))
+        return "\n".join(lines)
+
+
+def _stage_of(task_label: str) -> str:
+    """``Job0-ResultStage-task7`` → ``Job0-ResultStage``."""
+    return task_label.rsplit("-task", 1)[0] if "-task" in task_label else task_label
+
+
+def analyze(flight: "FlightRecorder", transport: str) -> CriticalPathReport:
+    """Walk the causal DAG of a finished run; one critical path per stage."""
+    sends: dict[int, tuple[float, int]] = {}  # span -> (t, nbytes)
+    recvs: dict[int, float] = {}
+    waited: dict[int, float] = {}
+    parent_of: dict[int, int] = {}
+    children: dict[int, list[int]] = {}
+    trace_spans: dict[int, list[int]] = {}
+    # trace -> (start event, finish event) of the task owning that trace
+    task_start: dict[int, object] = {}
+    task_finish: dict[int, object] = {}
+
+    body_legs: set[int] = set()
+
+    for ev in flight.events:
+        name = ev.name
+        if name == "msg.send":
+            sends[ev.span] = (ev.t, ev.attrs.get("nbytes", 0))
+            if ev.parent:
+                parent_of[ev.span] = ev.parent
+                children.setdefault(ev.parent, []).append(ev.span)
+            if ev.attrs.get("leg") == "mpi-body":
+                body_legs.add(ev.span)
+            trace_spans.setdefault(ev.trace, []).append(ev.span)
+        elif name == "msg.recv":
+            recvs[ev.span] = ev.t
+        elif name == "mpi.match":
+            waited[ev.span] = waited.get(ev.span, 0.0) + ev.attrs.get("waited_s", 0.0)
+        elif name == "task.start":
+            task_start[ev.trace] = ev
+        elif name == "task.finish":
+            task_finish[ev.trace] = ev
+
+    # Group finished tasks by stage, preserving first-seen stage order.
+    stages: dict[str, list[tuple[int, object, object]]] = {}
+    for trace, fin in task_finish.items():
+        start = task_start.get(trace)
+        if start is None:
+            continue
+        label = fin.attrs.get("task", "")
+        stages.setdefault(_stage_of(label), []).append((trace, start, fin))
+
+    def dwell(span: int) -> float:
+        """Matching dwell of a span plus its child mpi-opt body legs.
+
+        Only body legs count among the children: a response span is also
+        a child of its request, and its dwell belongs to the response's
+        own leg, not the request's.
+        """
+        w = waited.get(span, 0.0)
+        for c in children.get(span, ()):  # the body leg rejoins this frame
+            if c in body_legs:
+                w += waited.get(c, 0.0)
+        return w
+
+    report = CriticalPathReport(transport=transport)
+    for stage_name, entries in stages.items():
+        trace, start, fin = max(entries, key=lambda e: (e[2].t, e[0]))
+        segments: dict[str, float] = {}
+
+        def add(seg: str, secs: float) -> None:
+            if secs > 0:
+                segments[seg] = segments.get(seg, 0.0) + secs
+
+        add("compute", fin.attrs.get("compute_s", 0.0) + fin.attrs.get("combine_s", 0.0))
+        add("serialize", fin.attrs.get("write_s", 0.0))
+        fetch = fin.attrs.get("fetch_wait_s", 0.0)
+        chain = 0.0
+        if fetch > 0:
+            # The chain terminus: the last fully-received message of this
+            # task's trace.  Prefer responses (spans whose parent is itself
+            # a message span — the request→response edge).
+            spans = [s for s in trace_spans.get(trace, ()) if s in recvs]
+            responses = [s for s in spans if parent_of.get(s) in sends]
+            last = max(responses or spans, default=None, key=lambda s: recvs[s])
+            if last is not None:
+                discovery = 0.0
+                resp_w = dwell(last)
+                discovery += resp_w
+                add("wire", recvs[last] - sends[last][0] - resp_w)
+                req = parent_of.get(last)
+                chain_start = sends[last][0]
+                if req in sends and req in recvs:
+                    req_w = dwell(req)
+                    discovery += req_w
+                    add("wire", recvs[req] - sends[req][0] - req_w)
+                    add("queue", sends[last][0] - recvs[req])
+                    chain_start = sends[req][0]
+                chain = recvs[last] - chain_start
+                # The classification at the heart of Fig 9: only the Basic
+                # design discovers MPI messages by busy-polling, so only
+                # there is matching dwell a polling tax.
+                add("poll-tax" if transport == "mpi-basic" else "queue", discovery)
+        add("fetch-wait", fetch - chain)
+        report.stages.append(
+            StageCriticalPath(
+                stage=stage_name,
+                task=fin.attrs.get("task", ""),
+                start_s=start.t,
+                end_s=fin.t,
+                segments=segments,
+            )
+        )
+    return report
+
+
+def critical_path(result) -> CriticalPathReport:
+    """Convenience: analyze a :class:`~repro.spark.deploy.RunResult` that
+    ran with ``spark.repro.obs.causal`` enabled."""
+    if result.flight is None:
+        raise ValueError(
+            "RunResult has no flight log — run with spark.repro.obs.causal=true"
+        )
+    return analyze(result.flight, result.transport)

@@ -1,0 +1,177 @@
+"""Flight recorder: a bounded, deterministic structured event log.
+
+Every causally-traced run carries one :class:`FlightRecorder` — an
+append-only log of :class:`FlightEvent` records (message send/recv/match,
+the mpi-opt header→body join, scheduler task state changes, fault
+injections) ordered by simulated time.  The log is bounded: past
+``capacity`` events the oldest records are dropped (and counted), so a
+pathological run cannot exhaust memory.  Records hold only primitives
+(floats, ints, strings), which keeps the recorder picklable across the
+parallel harness's worker processes and lets :meth:`to_jsonl` dump the
+whole log as one JSON object per line.
+
+The recorder also tracks *open spans*: a message that has been sent but
+not yet received (or matched).  Channel death closes that channel's open
+spans; an MPI world abort closes all of them — each closure emits a
+``span.aborted`` record followed by a single terminal event, so a trace
+of a crashed run always ends in an explicit tombstone instead of dangling
+sends (see :mod:`repro.obs.causal` for who calls these).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import TYPE_CHECKING, Any, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.causal import TraceContext
+
+# Default event-log bound: enough for the figure-suite cells at benchmark
+# fidelity with headroom; a full-scale run that overflows it keeps the
+# most recent window (the end of the run is where crashes are explained).
+DEFAULT_CAPACITY = 262_144
+
+
+class FlightEvent:
+    """One structured record: what happened, when, on which trace."""
+
+    __slots__ = ("t", "name", "trace", "span", "parent", "attrs")
+
+    def __init__(
+        self,
+        t: float,
+        name: str,
+        trace: int = 0,
+        span: int = 0,
+        parent: int = 0,
+        attrs: dict[str, Any] | None = None,
+    ) -> None:
+        self.t = t
+        self.name = name
+        self.trace = trace
+        self.span = span
+        self.parent = parent
+        self.attrs = attrs or {}
+
+    def as_dict(self) -> dict[str, Any]:
+        d: dict[str, Any] = {"t": self.t, "ev": self.name}
+        if self.trace:
+            d["trace"] = self.trace
+        if self.span:
+            d["span"] = self.span
+        if self.parent:
+            d["parent"] = self.parent
+        if self.attrs:
+            d.update(self.attrs)
+        return d
+
+    def __getstate__(self):
+        return (self.t, self.name, self.trace, self.span, self.parent, self.attrs)
+
+    def __setstate__(self, state):
+        self.t, self.name, self.trace, self.span, self.parent, self.attrs = state
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FlightEvent {self.name} t={self.t:g} span={self.span}>"
+
+
+class FlightRecorder:
+    """Bounded event log plus the open-span table.
+
+    Holds no reference to the engine: callers stamp each record with the
+    simulated time, so a finished recorder is plain data — picklable,
+    diffable, and attachable to a :class:`~repro.spark.deploy.RunResult`.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        self.capacity = int(capacity)
+        self.events: deque[FlightEvent] = deque(maxlen=self.capacity)
+        self.dropped = 0
+        # span_id -> (TraceContext, channel key or None) for sent-not-yet-
+        # received messages; closed by recv/match or by a failure sweep.
+        self._open: dict[int, tuple["TraceContext", Any]] = {}
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # -- recording ----------------------------------------------------------
+    def record(
+        self, t: float, name: str, ctx: "TraceContext | None" = None, **attrs: Any
+    ) -> FlightEvent:
+        if len(self.events) == self.capacity:
+            self.dropped += 1
+        ev = FlightEvent(
+            t,
+            name,
+            trace=ctx.trace_id if ctx is not None else 0,
+            span=ctx.span_id if ctx is not None else 0,
+            parent=ctx.parent_id if ctx is not None else 0,
+            attrs=attrs or None,
+        )
+        self.events.append(ev)
+        return ev
+
+    # -- open-span tracking ---------------------------------------------------
+    def span_open(self, ctx: "TraceContext", channel: Any = None) -> None:
+        self._open[ctx.span_id] = (ctx, channel)
+
+    def span_close(self, span_id: int) -> None:
+        self._open.pop(span_id, None)
+
+    def open_spans(self) -> list[int]:
+        """Span ids sent but not yet received/matched (sorted, for tests)."""
+        return sorted(self._open)
+
+    def open_on(self, channel: Any) -> bool:
+        """Whether any open span was sent on ``channel``."""
+        return any(ch == channel for _, ch in self._open.values())
+
+    def close_channel(self, t: float, channel: Any, reason: str) -> int:
+        """A channel died: close its open spans, emit the terminal event."""
+        victims = sorted(
+            sid for sid, (_, ch) in self._open.items() if ch == channel
+        )
+        for sid in victims:
+            ctx, _ = self._open.pop(sid)
+            self.record(t, "span.aborted", ctx, reason=reason)
+        self.record(t, "channel.dead", ch=channel, reason=reason, closed=len(victims))
+        return len(victims)
+
+    def close_all(self, t: float, reason: str, terminal: str = "run.aborted") -> int:
+        """Failure sweep (MPI world abort): close every open span."""
+        victims = sorted(self._open)
+        for sid in victims:
+            ctx, _ = self._open.pop(sid)
+            self.record(t, "span.aborted", ctx, reason=reason)
+        self.record(t, terminal, reason=reason, closed=len(victims))
+        return len(victims)
+
+    # -- queries --------------------------------------------------------------
+    def named(self, name: str) -> list[FlightEvent]:
+        """All events with the given name, in record order."""
+        return [ev for ev in self.events if ev.name == name]
+
+    def by_trace(self, trace_id: int) -> list[FlightEvent]:
+        return [ev for ev in self.events if ev.trace == trace_id]
+
+    # -- export ---------------------------------------------------------------
+    def to_jsonl(self) -> str:
+        """One compact JSON object per line, in record order."""
+        lines = [
+            json.dumps(ev.as_dict(), sort_keys=True, separators=(",", ":"))
+            for ev in self.events
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def write(self, path: str) -> str:
+        with open(path, "w") as fh:
+            fh.write(self.to_jsonl())
+        return path
+
+    @staticmethod
+    def from_events(events: Iterable[FlightEvent]) -> "FlightRecorder":
+        """Rebuild a recorder around existing events (analysis helpers)."""
+        rec = FlightRecorder()
+        rec.events.extend(events)
+        return rec

@@ -1,0 +1,259 @@
+"""Spark-UI-style run report: one self-contained HTML page per run set.
+
+Renders what a Spark UI would show for a simulated job — a stage Gantt,
+a per-transport message timeline, and the causal critical-path breakdown
+— from the flight-recorder log alone.  Everything is inline (CSS + SVG,
+no scripts, no external assets), so the page can be committed, attached
+to CI as an artifact, or mailed around as a single file.
+
+Entry points: :func:`render_report` returns the HTML for a list of
+``(RunResult, CriticalPathReport)`` pairs; :func:`write_report` writes it
+next to the ``BENCH_*.json`` results.  ``examples/obs_report.py`` builds
+one for a small GroupBy run; the harness writes one per figure run when
+``spark.repro.obs.causal`` is on.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.obs.critpath import SEGMENTS, CriticalPathReport
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.flightrec import FlightEvent, FlightRecorder
+    from repro.spark.deploy import RunResult
+
+# Keep pages small: the message timeline draws at most this many spans,
+# decimated evenly across the run (the page notes how many were dropped).
+TIMELINE_MAX_SPANS = 2000
+
+_SEGMENT_COLORS = {
+    "compute": "#4c78a8",
+    "serialize": "#72b7b2",
+    "queue": "#eeca3b",
+    "wire": "#54a24b",
+    "poll-tax": "#e45756",
+    "fetch-wait": "#b279a2",
+}
+
+_CSS = """
+body { font: 13px/1.45 -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2em auto; max-width: 980px; color: #1a1a2e; }
+h1 { font-size: 1.5em; border-bottom: 2px solid #1a1a2e; padding-bottom: .2em; }
+h2 { font-size: 1.15em; margin-top: 1.8em; }
+table { border-collapse: collapse; margin: .8em 0; }
+th, td { border: 1px solid #ccc; padding: .25em .6em; text-align: right; }
+th { background: #f0f0f5; }
+td.l, th.l { text-align: left; }
+.legend span { display: inline-block; margin-right: 1.2em; }
+.legend i { display: inline-block; width: .9em; height: .9em;
+            margin-right: .35em; vertical-align: -0.1em; }
+.note { color: #666; font-size: .92em; }
+svg { background: #fafafc; border: 1px solid #ddd; }
+"""
+
+
+def _esc(s: object) -> str:
+    return html.escape(str(s))
+
+
+def _decimate(items: Sequence, limit: int) -> list:
+    if len(items) <= limit:
+        return list(items)
+    step = len(items) / limit
+    return [items[int(i * step)] for i in range(limit)]
+
+
+def _gantt_svg(flight: "FlightRecorder", width: int = 920) -> str:
+    """Stage Gantt from stage.start / stage.finish event pairs."""
+    starts: dict[str, float] = {}
+    bars: list[tuple[str, float, float]] = []
+    for ev in flight.events:
+        if ev.name == "stage.start":
+            starts[ev.attrs.get("stage", "?")] = ev.t
+        elif ev.name == "stage.finish":
+            label = ev.attrs.get("stage", "?")
+            if label in starts:
+                bars.append((label, starts.pop(label), ev.t))
+    if not bars:
+        return "<p class='note'>no stage events in the flight log</p>"
+    t0 = min(b[1] for b in bars)
+    t1 = max(b[2] for b in bars)
+    span = max(t1 - t0, 1e-12)
+    row_h, pad_l, pad_t = 26, 190, 8
+    h = pad_t * 2 + row_h * len(bars) + 18
+    sx = (width - pad_l - 12) / span
+    parts = [
+        f"<svg width='{width}' height='{h}' "
+        f"xmlns='http://www.w3.org/2000/svg'>"
+    ]
+    for i, (label, s, e) in enumerate(bars):
+        y = pad_t + i * row_h
+        x = pad_l + (s - t0) * sx
+        w = max((e - s) * sx, 1.5)
+        parts.append(
+            f"<text x='{pad_l - 8}' y='{y + 15}' text-anchor='end' "
+            f"font-size='11'>{_esc(label)}</text>"
+        )
+        parts.append(
+            f"<rect x='{x:.1f}' y='{y + 3}' width='{w:.1f}' height='{row_h - 8}' "
+            f"fill='#4c78a8' rx='2'><title>{_esc(label)}: "
+            f"{s - t0:.4f}s → {e - t0:.4f}s ({e - s:.4f}s)</title></rect>"
+        )
+    parts.append(
+        f"<text x='{pad_l}' y='{h - 4}' font-size='10' fill='#666'>0s</text>"
+        f"<text x='{width - 12}' y='{h - 4}' font-size='10' fill='#666' "
+        f"text-anchor='end'>{span:.4f}s</text></svg>"
+    )
+    return "".join(parts)
+
+
+def _timeline_svg(
+    flight: "FlightRecorder", width: int = 920, max_spans: int = TIMELINE_MAX_SPANS
+) -> str:
+    """Message timeline: one line per traced message, send → recv/match."""
+    sends: dict[int, "FlightEvent"] = {}
+    closes: dict[int, float] = {}
+    order: list[int] = []
+    for ev in flight.events:
+        if ev.name == "msg.send":
+            sends[ev.span] = ev
+            order.append(ev.span)
+        elif ev.name in ("msg.recv", "mpi.match") and ev.span not in closes:
+            closes[ev.span] = ev.t
+    spans = [s for s in order if s in closes]
+    if not spans:
+        return "<p class='note'>no completed message spans in the flight log</p>"
+    total = len(spans)
+    spans = _decimate(spans, max_spans)
+    t0 = min(sends[s].t for s in spans)
+    t1 = max(closes[s] for s in spans)
+    tspan = max(t1 - t0, 1e-12)
+    pad_l, pad_t, h_rows = 50, 8, max(120, min(420, len(spans)))
+    h = pad_t * 2 + h_rows + 18
+    sx = (width - pad_l - 12) / tspan
+    parts = [
+        f"<svg width='{width}' height='{h}' "
+        f"xmlns='http://www.w3.org/2000/svg'>"
+    ]
+    for i, s in enumerate(spans):
+        ev = sends[s]
+        y = pad_t + (i / max(len(spans) - 1, 1)) * h_rows
+        x0 = pad_l + (ev.t - t0) * sx
+        x1 = pad_l + (closes[s] - t0) * sx
+        body_leg = ev.attrs.get("leg") == "mpi-body"
+        color = "#e45756" if body_leg else "#4c78a8"
+        parts.append(
+            f"<line x1='{x0:.1f}' y1='{y:.1f}' x2='{max(x1, x0 + 1):.1f}' "
+            f"y2='{y:.1f}' stroke='{color}' stroke-width='1.1'>"
+            f"<title>type={ev.attrs.get('type')} "
+            f"{ev.attrs.get('nbytes', 0)}B {closes[s] - ev.t:.6f}s"
+            f"{' (MPI body leg)' if body_leg else ''}</title></line>"
+        )
+    dropped = total - len(spans)
+    note = f" ({dropped} of {total} spans decimated out)" if dropped else ""
+    parts.append(
+        f"<text x='{pad_l}' y='{h - 4}' font-size='10' fill='#666'>0s</text>"
+        f"<text x='{width - 12}' y='{h - 4}' font-size='10' fill='#666' "
+        f"text-anchor='end'>{tspan:.4f}s</text></svg>"
+        f"<p class='note'>{total} message spans{note}; "
+        "red lines are mpi-opt MPI body legs.</p>"
+    )
+    return "".join(parts)
+
+
+def _critpath_table(report: CriticalPathReport) -> str:
+    """The per-stage segment table plus a stacked share bar."""
+    head = (
+        "<tr><th class='l'>stage</th><th class='l'>critical task</th>"
+        + "".join(f"<th>{_esc(seg)}</th>" for seg in SEGMENTS)
+        + "<th>total</th></tr>"
+    )
+    rows = []
+    for s in report.stages:
+        rows.append(
+            f"<tr><td class='l'>{_esc(s.stage)}</td><td class='l'>{_esc(s.task)}</td>"
+            + "".join(f"<td>{s.seconds(seg):.4f}</td>" for seg in SEGMENTS)
+            + f"<td>{s.total_s:.4f}</td></tr>"
+        )
+    rows.append(
+        "<tr><th class='l'>TOTAL</th><th></th>"
+        + "".join(f"<th>{report.segment_seconds(seg):.4f}</th>" for seg in SEGMENTS)
+        + f"<th>{report.total_seconds:.4f}</th></tr>"
+    )
+    bar = ["<svg width='920' height='26' xmlns='http://www.w3.org/2000/svg'>"]
+    x = 0.0
+    for seg in SEGMENTS:
+        share = report.share(seg)
+        if share <= 0:
+            continue
+        w = share * 920
+        bar.append(
+            f"<rect x='{x:.1f}' y='2' width='{max(w, 1):.1f}' height='20' "
+            f"fill='{_SEGMENT_COLORS[seg]}'><title>{_esc(seg)}: "
+            f"{share:.1%}</title></rect>"
+        )
+        x += w
+    bar.append("</svg>")
+    legend = "".join(
+        f"<span><i style='background:{_SEGMENT_COLORS[seg]}'></i>"
+        f"{_esc(seg)} {report.share(seg):.1%}</span>"
+        for seg in SEGMENTS
+    )
+    return (
+        f"<table>{head}{''.join(rows)}</table>"
+        f"{''.join(bar)}<p class='legend'>{legend}</p>"
+    )
+
+
+def render_report(
+    runs: Iterable[tuple["RunResult", CriticalPathReport]],
+    title: str = "repro run report",
+) -> str:
+    """The full page: one section per (result, critical-path) pair."""
+    sections = []
+    for result, cp in runs:
+        flight = result.flight
+        stage_rows = "".join(
+            f"<tr><td class='l'>{_esc(label)}</td><td>{secs:.4f}</td></tr>"
+            for label, secs in result.stage_seconds.items()
+        )
+        meta = (
+            f"<p>workload <b>{_esc(result.workload)}</b> · system "
+            f"{_esc(result.system)} · {result.n_workers} workers · "
+            f"{result.total_cores} cores · total "
+            f"<b>{result.total_seconds:.4f}s</b>"
+        )
+        if flight is not None:
+            meta += (
+                f" · {len(flight.events)} flight events"
+                + (f" ({flight.dropped} dropped)" if flight.dropped else "")
+            )
+        meta += "</p>"
+        body = [f"<h2>transport: {_esc(result.transport)}</h2>", meta]
+        body.append(
+            f"<table><tr><th class='l'>stage</th><th>seconds</th></tr>"
+            f"{stage_rows}</table>"
+        )
+        if flight is not None:
+            body.append("<h3>stage Gantt</h3>" + _gantt_svg(flight))
+            body.append("<h3>message timeline</h3>" + _timeline_svg(flight))
+        body.append("<h3>critical path</h3>" + _critpath_table(cp))
+        sections.append("".join(body))
+    return (
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>"
+        f"<title>{_esc(title)}</title><style>{_CSS}</style></head>"
+        f"<body><h1>{_esc(title)}</h1>{''.join(sections)}</body></html>"
+    )
+
+
+def write_report(
+    path: str,
+    runs: Iterable[tuple["RunResult", CriticalPathReport]],
+    title: str = "repro run report",
+) -> str:
+    """Render and write the page; returns ``path`` for chaining."""
+    with open(path, "w") as fh:
+        fh.write(render_report(runs, title=title))
+    return path

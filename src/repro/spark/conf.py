@@ -28,10 +28,12 @@ _DEFAULTS: dict[str, Any] = {
     "spark.blacklist.enabled": "true",
     # MPI reaction to rank death: abort (MPI_ERRORS_ARE_FATAL) | shrink (ULFM)
     "spark.repro.mpi.faultMode": "abort",
-    # Observability (repro.obs): metrics snapshots / Chrome-trace spans are
-    # opt-in; trace implies enabled. The registry itself is always on.
+    # Observability (repro.obs): metrics snapshots / Chrome-trace spans /
+    # causal message tracing are opt-in; trace and causal imply enabled.
+    # The registry itself is always on.
     "spark.repro.obs.enabled": "false",
     "spark.repro.obs.trace": "false",
+    "spark.repro.obs.causal": "false",
     # Paper Sec. VII-C memory settings
     "spark.worker.memory": "120g",
     "spark.daemon.memory": "6g",

@@ -57,6 +57,7 @@ from repro.transports import make_transport
 from repro.util.units import MiB, US
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.flightrec import FlightRecorder
     from repro.obs.registry import MetricsSnapshot
 
 SHUFFLE_PORT_BASE = 7400
@@ -205,7 +206,7 @@ class SimExecutor:
         return client
 
     def fetch_shuffle(
-        self, sources: list[tuple["SimExecutor", int, int]]
+        self, sources: list[tuple["SimExecutor", int, int]], trace_parent=None
     ) -> Generator:
         """Fetch ``(src, nbytes, n_blocks)`` from each source, windowed.
 
@@ -225,7 +226,9 @@ class SimExecutor:
                 continue
             try:
                 client = yield from self._get_client(src)
-                reply = yield client.send_rpc(("open_blocks", nbytes, n_blocks), 64)
+                reply = yield client.send_rpc(
+                    ("open_blocks", nbytes, n_blocks), 64, trace_parent=trace_parent
+                )
             except WorldAbortedError:
                 raise
             except FetchFailedException:
@@ -264,7 +267,9 @@ class SimExecutor:
             ):
                 client, stream_id, idx, size, blk, src = plan[next_req]
                 try:
-                    future = client.fetch_chunk(stream_id, idx, num_blocks=blk)
+                    future = client.fetch_chunk(
+                        stream_id, idx, num_blocks=blk, trace_parent=trace_parent
+                    )
                 except WorldAbortedError:
                     raise
                 except _FETCHABLE_ERRORS as exc:
@@ -298,10 +303,20 @@ class SimExecutor:
                     yield env.timeout((blk - 1) * PER_BLOCK_CLIENT_S)
 
     # -- task runners -------------------------------------------------------------
+    def _task_start(self, label: str):
+        """Open a causal root for one task (None when tracing is off)."""
+        causal = self.sim.env.causal
+        if not causal.enabled:
+            return None
+        ctx = causal.mint()
+        causal.event("task.start", ctx, task=label, exec=self.exec_id)
+        return ctx
+
     def run_compute_task(self, seconds: float, label: str = "compute") -> Generator:
         req = self.slots.request()
         yield req
         try:
+            ctx = self._task_start(label)
             with self.sim.env.tracer.span(
                 label, cat="task", track=f"exec{self.exec_id}"
             ):
@@ -309,6 +324,11 @@ class SimExecutor:
                 yield self.sim.env.timeout(TASK_SCHED_DELAY_S + compute)
                 self._c_compute.inc(compute)
                 self._c_tasks.inc()
+            if ctx is not None:
+                self.sim.env.causal.event(
+                    "task.finish", ctx,
+                    task=label, exec=self.exec_id, compute_s=compute,
+                )
         finally:
             self.slots.release(req)
 
@@ -318,6 +338,7 @@ class SimExecutor:
         req = self.slots.request()
         yield req
         try:
+            ctx = self._task_start(label)
             with self.sim.env.tracer.span(
                 label, cat="task", track=f"exec{self.exec_id}"
             ):
@@ -327,6 +348,12 @@ class SimExecutor:
                 self._c_compute.inc(compute)
                 self._c_write.inc(write)
                 self._c_tasks.inc()
+            if ctx is not None:
+                self.sim.env.causal.event(
+                    "task.finish", ctx,
+                    task=label, exec=self.exec_id,
+                    compute_s=compute, write_s=write,
+                )
         finally:
             self.slots.release(req)
 
@@ -340,6 +367,7 @@ class SimExecutor:
         req = self.slots.request()
         yield req
         try:
+            ctx = self._task_start(label)
             with self.sim.env.tracer.span(
                 label, cat="task", track=f"exec{self.exec_id}"
             ) as span:
@@ -359,7 +387,7 @@ class SimExecutor:
                     for src in self.sim.executors
                     if src.exec_id != self.exec_id and fetch_bytes[src.exec_id] > 0
                 ]
-                yield from self.fetch_shuffle(sources)
+                yield from self.fetch_shuffle(sources, trace_parent=ctx)
                 fetch_wait = self.sim.env.now - t_fetch
                 self._c_fetch_wait.inc(fetch_wait)
                 self._h_fetch_wait.observe(fetch_wait)
@@ -368,6 +396,12 @@ class SimExecutor:
                 self._c_combine.inc(combine)
                 self._c_tasks.inc()
                 span.annotate(fetch_wait_s=fetch_wait, combine_s=combine)
+            if ctx is not None:
+                self.sim.env.causal.event(
+                    "task.finish", ctx,
+                    task=label, exec=self.exec_id,
+                    fetch_wait_s=fetch_wait, combine_s=combine,
+                )
         finally:
             self.slots.release(req)
 
@@ -386,6 +420,10 @@ class RunResult:
     # End-of-run metrics snapshot; populated when the cluster ran with
     # observability enabled (``spark.repro.obs.enabled``).
     metrics: "MetricsSnapshot | None" = None
+    # Causal flight recording; populated under ``spark.repro.obs.causal``.
+    # The recorder is env-free, so results (and their flight logs) survive
+    # the pickling round-trip through the parallel harness workers.
+    flight: "FlightRecorder | None" = None
 
     @property
     def total_seconds(self) -> float:
@@ -415,6 +453,7 @@ class SparkSimCluster:
         mpi_fault_mode: str = "abort",
         obs_enabled: bool = False,
         obs_trace: bool = False,
+        obs_causal: bool = False,
     ) -> None:
         if n_workers < 1:
             raise ValueError("need at least one worker")
@@ -423,13 +462,18 @@ class SparkSimCluster:
         self.io_threads = io_threads
         self.seed = int(seed)
         self.mpi_fault_mode = mpi_fault_mode
-        self.obs_enabled = obs_enabled or obs_trace
+        self.obs_enabled = obs_enabled or obs_trace or obs_causal
         self.obs_trace = obs_trace
+        self.obs_causal = obs_causal
         self.env = SimEngine(seed=seed)
         if obs_trace:
             from repro.obs.tracer import Tracer
 
             self.env.tracer = Tracer(self.env)
+        if obs_causal:
+            from repro.obs.causal import CausalTracer
+
+            self.env.causal = CausalTracer(self.env)
         # workers on nodes [0, W); master on node W; driver on node W+1.
         self.cluster = SimCluster(
             self.env,
@@ -469,10 +513,10 @@ class SparkSimCluster:
         """Build a cluster from a :class:`~repro.spark.conf.SparkConf`.
 
         Reads the transport, seed, MPI fault mode and the observability
-        switches (``spark.repro.obs.enabled`` / ``spark.repro.obs.trace``);
+        switches (``spark.repro.obs.enabled`` / ``.trace`` / ``.causal``);
         keyword overrides win over conf values.
         """
-        from repro.obs import obs_from_conf
+        from repro.obs import causal_from_conf, obs_from_conf
 
         obs_enabled, obs_trace = obs_from_conf(conf)
         kwargs: dict[str, Any] = dict(
@@ -481,6 +525,7 @@ class SparkSimCluster:
             mpi_fault_mode=str(conf.get("spark.repro.mpi.faultMode", "abort")),
             obs_enabled=obs_enabled,
             obs_trace=obs_trace,
+            obs_causal=causal_from_conf(conf),
         )
         kwargs.update(overrides)
         return cls(system, n_workers, **kwargs)
@@ -566,8 +611,10 @@ class SparkSimCluster:
             total_cores=self.n_workers * self.cores_per_executor,
             launch_seconds=self.launch_seconds,
         )
+        causal = self.env.causal
         for stage in profile.stages:
             t0 = self.env.now
+            causal.event("stage.start", None, stage=stage.label, n_tasks=stage.n_tasks)
             with self.env.tracer.span(
                 stage.label, cat="stage", track="driver", n_tasks=stage.n_tasks
             ):
@@ -575,8 +622,14 @@ class SparkSimCluster:
                 finished = self.env.all_of(tasks)
                 self.env.run(until=finished)
             result.stage_seconds[stage.label] = self.env.now - t0
+            causal.event(
+                "stage.finish", None,
+                stage=stage.label, seconds=result.stage_seconds[stage.label],
+            )
         if self.obs_enabled:
             result.metrics = self.env.metrics.snapshot()
+        if causal.enabled:
+            result.flight = causal.flight
         return result
 
     def _spawn_stage_tasks(self, stage) -> list:
@@ -610,3 +663,12 @@ class SparkSimCluster:
     def shutdown(self) -> None:
         for ex in self.executors:
             ex.stop()
+        # Final causal sweep: spans still open here were sent to endpoints
+        # that died without a channel teardown (or were in flight when an
+        # abort unwound the run) — tombstone them so no trace ends with a
+        # dangling send.  Clean runs have nothing open and record nothing.
+        causal = self.env.causal
+        if causal.enabled and causal.flight.open_spans():
+            causal.flight.close_all(
+                self.env.now, "cluster shutdown", terminal="run.end"
+            )

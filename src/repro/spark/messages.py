@@ -41,6 +41,10 @@ class Message:
 
     type_tag: ClassVar[int] = -1
     is_request: ClassVar[bool] = True
+    # Causal trace context (repro.obs.causal). A plain class-level default —
+    # deliberately NOT a dataclass field, so message equality, reprs and
+    # encodings are untouched; minted per instance by :func:`ensure_trace`.
+    trace_ctx: Any = None
 
     # -- codec interface -----------------------------------------------------
     def encode_fields(self, buf: ByteBuf) -> None:
@@ -318,12 +322,30 @@ MESSAGE_TYPES: dict[int, type[Message]] = {
 MPI_OPTIMIZED_BODY_TYPES = (ChunkFetchSuccess.type_tag, StreamResponse.type_tag)
 
 
+def ensure_trace(msg: Message, causal, parent=None):
+    """Mint (or inherit) a causal trace context for ``msg``.
+
+    This is where a Spark message acquires its identity in the causal DAG:
+    a fresh root trace, or — when ``parent`` names a task or a request —
+    a child span of it.  A context already attached (e.g. by the request
+    handler linking a response to its request) is kept.  Returns the
+    context; a no-op returning None when ``causal`` is disabled.
+    """
+    if not causal.enabled:
+        return None
+    if msg.trace_ctx is None:
+        msg.trace_ctx = causal.child(parent)
+    return msg.trace_ctx
+
+
 def encode_message(msg: Message) -> WireFrame:
     """Message → WireFrame (header bytes + body reference)."""
     fields = ByteBuf()
     msg.encode_fields(fields)
     header = encode_frame_header(msg.type_tag, fields.to_bytes(), msg.body_nbytes)
-    return WireFrame(header=header, body=msg.body, body_nbytes=msg.body_nbytes)
+    frame = WireFrame(header=header, body=msg.body, body_nbytes=msg.body_nbytes)
+    frame.trace_ctx = msg.trace_ctx  # side channel, never in header bytes
+    return frame
 
 
 def decode_message(frame: WireFrame) -> Message:
@@ -332,7 +354,10 @@ def decode_message(frame: WireFrame) -> Message:
     cls = MESSAGE_TYPES.get(tag)
     if cls is None:
         raise ValueError(f"unknown message type tag {tag}")
-    return cls.decode_fields(fields, frame.body, frame.body_nbytes)
+    msg = cls.decode_fields(fields, frame.body, frame.body_nbytes)
+    if frame.trace_ctx is not None:
+        msg.trace_ctx = frame.trace_ctx
+    return msg
 
 
 def peek_message_type(frame: WireFrame) -> tuple[int, int]:

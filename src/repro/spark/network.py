@@ -42,6 +42,7 @@ from repro.spark.messages import (
     StreamResponse,
     decode_message,
     encode_message,
+    ensure_trace,
 )
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -73,20 +74,41 @@ class FetchFailedException(TransportError):
 # ---------------------------------------------------------------------------
 
 class MessageEncoder(ChannelHandler):
-    """Outbound: Message → WireFrame."""
+    """Outbound: Message → WireFrame.
+
+    The single chokepoint every outbound Spark message crosses on every
+    transport, so this is where causal tracing records ``msg.send`` (and
+    mints a root context for messages nobody parented).
+    """
 
     def write(self, ctx, msg, promise):
         if isinstance(msg, Message):
+            causal = ctx.channel.env.causal
+            if causal.enabled:
+                trace = ensure_trace(msg, causal)
+                causal.send(
+                    trace, msg.type_tag, msg.body_nbytes,
+                    channel=ctx.channel.id.as_long_text(),
+                )
             msg = encode_message(msg)
         ctx.write(msg, promise)
 
 
 class MessageDecoder(ChannelHandler):
-    """Inbound: WireFrame → Message."""
+    """Inbound: WireFrame → Message.
+
+    The inbound chokepoint: the carried trace context survives decoding,
+    and ``msg.recv`` closes the message's causal span (send → recv edge).
+    """
 
     def channel_read(self, ctx, msg):
         if isinstance(msg, WireFrame):
             msg = decode_message(msg)
+            if msg.trace_ctx is not None:
+                ctx.channel.env.causal.recv(
+                    msg.trace_ctx, msg.type_tag, msg.body_nbytes,
+                    channel=ctx.channel.id.as_long_text(),
+                )
         ctx.fire_channel_read(msg)
 
 
@@ -169,6 +191,13 @@ class TransportRequestHandler(ChannelHandler):
         else:
             ctx.fire_channel_read(msg)
 
+    @staticmethod
+    def _as_reply(channel: Channel, request: Message, response: Message) -> Message:
+        """Link a response into the request's trace (request→response edge)."""
+        if request.trace_ctx is not None:
+            response.trace_ctx = channel.env.causal.child(request.trace_ctx)
+        return response
+
     def _handle_chunk_fetch(self, channel: Channel, msg: ChunkFetchRequest) -> None:
         sid = msg.stream_chunk_id
         try:
@@ -176,37 +205,53 @@ class TransportRequestHandler(ChannelHandler):
                 sid.stream_id, sid.chunk_index, msg.num_blocks
             )
         except Exception as exc:
-            channel.write_and_flush(ChunkFetchFailure(sid, str(exc)))
+            channel.write_and_flush(
+                self._as_reply(channel, msg, ChunkFetchFailure(sid, str(exc)))
+            )
             return
         try:
             channel.write_and_flush(
-                ChunkFetchSuccess(sid, payload, nbytes, msg.num_blocks)
+                self._as_reply(
+                    channel, msg, ChunkFetchSuccess(sid, payload, nbytes, msg.num_blocks)
+                )
             )
         except Exception as exc:
             # The response could not be put on the wire (e.g. the MPI body
             # isend refused because the peer rank died). Try to tell the
             # client; if even that fails the client learns via the channel.
             try:
-                channel.write_and_flush(ChunkFetchFailure(sid, f"write failed: {exc}"))
+                channel.write_and_flush(
+                    self._as_reply(
+                        channel, msg, ChunkFetchFailure(sid, f"write failed: {exc}")
+                    )
+                )
             except Exception:
                 pass
 
     def _handle_rpc(self, channel: Channel, msg: RpcRequest) -> None:
         def reply(payload: Any, nbytes: int = 0) -> None:
-            channel.write_and_flush(RpcResponse(msg.request_id, payload, nbytes))
+            channel.write_and_flush(
+                self._as_reply(channel, msg, RpcResponse(msg.request_id, payload, nbytes))
+            )
 
         try:
             self.rpc_handler.receive(channel, msg.payload, reply)
         except Exception as exc:
-            channel.write_and_flush(RpcFailure(msg.request_id, str(exc)))
+            channel.write_and_flush(
+                self._as_reply(channel, msg, RpcFailure(msg.request_id, str(exc)))
+            )
 
     def _handle_stream(self, channel: Channel, msg: StreamRequest) -> None:
         try:
             payload, nbytes = self.stream_manager.get_chunk(int(msg.stream_id), 0, 1)
         except Exception as exc:
-            channel.write_and_flush(StreamFailure(msg.stream_id, str(exc)))
+            channel.write_and_flush(
+                self._as_reply(channel, msg, StreamFailure(msg.stream_id, str(exc)))
+            )
             return
-        channel.write_and_flush(StreamResponse(msg.stream_id, nbytes, payload))
+        channel.write_and_flush(
+            self._as_reply(channel, msg, StreamResponse(msg.stream_id, nbytes, payload))
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -269,11 +314,21 @@ class TransportResponseHandler(ChannelHandler):
     def channel_inactive(self, ctx):
         remote = ctx.channel.remote_address
         self._fail_all(lambda: TransportError(f"connection to {remote} closed"))
+        causal = ctx.channel.env.causal
+        if causal.enabled:
+            causal.channel_closed(
+                ctx.channel.id.as_long_text(), f"connection to {remote} closed"
+            )
         ctx.fire_channel_inactive()
 
     def exception_caught(self, ctx, exc):
         remote = ctx.channel.remote_address
         self._fail_all(lambda: TransportError(f"channel to {remote}: {exc}"))
+        causal = ctx.channel.env.causal
+        if causal.enabled:
+            causal.channel_closed(
+                ctx.channel.id.as_long_text(), f"channel to {remote}: {exc}"
+            )
         ctx.fire_exception_caught(exc)
 
 
@@ -290,32 +345,48 @@ class TransportClient:
     def env(self):
         return self.channel.env
 
+    def _parent(self, msg: Message, trace_parent) -> Message:
+        """Attach a causal child context when the caller named a parent span."""
+        if trace_parent is not None:
+            causal = self.env.causal
+            if causal.enabled:
+                msg.trace_ctx = causal.child(trace_parent)
+        return msg
+
     def fetch_chunk(
-        self, stream_id: int, chunk_index: int, num_blocks: int = 1
+        self, stream_id: int, chunk_index: int, num_blocks: int = 1, trace_parent=None
     ) -> "Event":
         """Request one chunk; returns a future of :class:`ChunkFetchSuccess`."""
         sid = StreamChunkId(stream_id, chunk_index)
         future = self.env.event()
         self.handler.outstanding_fetches[sid] = future
-        self.channel.write_and_flush(ChunkFetchRequest(sid, num_blocks))
+        self.channel.write_and_flush(
+            self._parent(ChunkFetchRequest(sid, num_blocks), trace_parent)
+        )
         return future
 
-    def send_rpc(self, payload: Any, nbytes: int = 0) -> "Event":
+    def send_rpc(self, payload: Any, nbytes: int = 0, trace_parent=None) -> "Event":
         """Send an RPC; returns a future of the reply payload."""
         rpc_id = next(TransportClient._rpc_ids)
         future = self.env.event()
         self.handler.outstanding_rpcs[rpc_id] = future
-        self.channel.write_and_flush(RpcRequest(rpc_id, payload, nbytes))
+        self.channel.write_and_flush(
+            self._parent(RpcRequest(rpc_id, payload, nbytes), trace_parent)
+        )
         return future
 
-    def send_one_way(self, payload: Any, nbytes: int = 0) -> None:
-        self.channel.write_and_flush(OneWayMessage(payload, nbytes))
+    def send_one_way(self, payload: Any, nbytes: int = 0, trace_parent=None) -> None:
+        self.channel.write_and_flush(
+            self._parent(OneWayMessage(payload, nbytes), trace_parent)
+        )
 
-    def stream(self, stream_id: str) -> "Event":
+    def stream(self, stream_id: str, trace_parent=None) -> "Event":
         """Open a stream; returns a future of :class:`StreamResponse`."""
         future = self.env.event()
         self.handler.outstanding_streams[stream_id] = future
-        self.channel.write_and_flush(StreamRequest(stream_id))
+        self.channel.write_and_flush(
+            self._parent(StreamRequest(stream_id), trace_parent)
+        )
         return future
 
     def close(self) -> None:

@@ -1,0 +1,138 @@
+"""FlightRecorder unit behaviour: bounded log, open spans, failure sweeps."""
+
+import json
+import pickle
+
+from repro.obs.causal import TraceContext
+from repro.obs.flightrec import DEFAULT_CAPACITY, FlightEvent, FlightRecorder
+
+
+def ctx(trace=1, span=1, parent=0):
+    return TraceContext(trace, span, parent)
+
+
+class TestRecording:
+    def test_record_stamps_fields(self):
+        rec = FlightRecorder()
+        ev = rec.record(0.5, "msg.send", ctx(3, 7, 2), type=1, nbytes=64)
+        assert (ev.t, ev.name) == (0.5, "msg.send")
+        assert (ev.trace, ev.span, ev.parent) == (3, 7, 2)
+        assert ev.attrs == {"type": 1, "nbytes": 64}
+        assert len(rec) == 1
+
+    def test_as_dict_omits_zero_ids(self):
+        plain = FlightRecorder().record(1.0, "stage.start", None, stage="s")
+        assert plain.as_dict() == {"t": 1.0, "ev": "stage.start", "stage": "s"}
+        traced = FlightRecorder().record(1.0, "msg.send", ctx(2, 5))
+        d = traced.as_dict()
+        assert d["trace"] == 2 and d["span"] == 5 and "parent" not in d
+
+    def test_capacity_bound_drops_oldest_and_counts(self):
+        rec = FlightRecorder(capacity=4)
+        for i in range(10):
+            rec.record(float(i), "ev", None, i=i)
+        assert len(rec) == 4
+        assert rec.dropped == 6
+        assert [ev.attrs["i"] for ev in rec.events] == [6, 7, 8, 9]
+
+    def test_default_capacity(self):
+        assert FlightRecorder().capacity == DEFAULT_CAPACITY
+
+
+class TestOpenSpans:
+    def test_open_close_lifecycle(self):
+        rec = FlightRecorder()
+        a, b = ctx(1, 1), ctx(1, 2, 1)
+        rec.span_open(a, channel="ch-0")
+        rec.span_open(b, channel="ch-1")
+        assert rec.open_spans() == [1, 2]
+        assert rec.open_on("ch-0") and rec.open_on("ch-1")
+        rec.span_close(1)
+        assert rec.open_spans() == [2]
+        assert not rec.open_on("ch-0")
+        rec.span_close(1)  # idempotent
+        assert rec.open_spans() == [2]
+
+    def test_close_channel_aborts_only_that_channels_spans(self):
+        rec = FlightRecorder()
+        rec.span_open(ctx(1, 1), channel="dead")
+        rec.span_open(ctx(1, 2, 1), channel="dead")
+        rec.span_open(ctx(2, 3), channel="alive")
+        closed = rec.close_channel(4.0, "dead", "connection reset")
+        assert closed == 2
+        assert rec.open_spans() == [3]
+        aborted = rec.named("span.aborted")
+        assert [ev.span for ev in aborted] == [1, 2]
+        assert all(ev.t == 4.0 and ev.attrs["reason"] == "connection reset"
+                   for ev in aborted)
+        terminal = rec.named("channel.dead")
+        assert len(terminal) == 1
+        assert terminal[0].attrs == {
+            "ch": "dead", "reason": "connection reset", "closed": 2,
+        }
+
+    def test_close_all_emits_requested_terminal(self):
+        rec = FlightRecorder()
+        rec.span_open(ctx(1, 1), channel="x")
+        rec.span_open(ctx(2, 2), channel="y")
+        closed = rec.close_all(9.0, "world aborted", terminal="mpi.abort")
+        assert closed == 2
+        assert rec.open_spans() == []
+        assert len(rec.named("span.aborted")) == 2
+        (tomb,) = rec.named("mpi.abort")
+        assert tomb.t == 9.0 and tomb.attrs["closed"] == 2
+
+
+class TestQueriesAndExport:
+    def _sample(self):
+        rec = FlightRecorder()
+        rec.record(0.0, "msg.send", ctx(1, 1), nbytes=8)
+        rec.record(0.1, "msg.recv", ctx(1, 1), nbytes=8)
+        rec.record(0.2, "msg.send", ctx(2, 2), nbytes=16)
+        return rec
+
+    def test_named_and_by_trace(self):
+        rec = self._sample()
+        assert [ev.t for ev in rec.named("msg.send")] == [0.0, 0.2]
+        assert [ev.name for ev in rec.by_trace(1)] == ["msg.send", "msg.recv"]
+
+    def test_to_jsonl_round_trips(self):
+        rec = self._sample()
+        lines = rec.to_jsonl().splitlines()
+        assert len(lines) == 3
+        rows = [json.loads(line) for line in lines]
+        assert rows[0] == {"t": 0.0, "ev": "msg.send", "trace": 1, "span": 1,
+                           "nbytes": 8}
+
+    def test_write(self, tmp_path):
+        rec = self._sample()
+        path = rec.write(str(tmp_path / "flight.jsonl"))
+        assert open(path).read() == rec.to_jsonl()
+
+    def test_empty_jsonl_is_empty_string(self):
+        assert FlightRecorder().to_jsonl() == ""
+
+    def test_from_events(self):
+        rec = self._sample()
+        rebuilt = FlightRecorder.from_events(rec.events)
+        assert [ev.name for ev in rebuilt.events] == [
+            "msg.send", "msg.recv", "msg.send",
+        ]
+
+
+class TestPickling:
+    def test_event_and_context_round_trip(self):
+        ev = FlightEvent(1.5, "msg.send", trace=2, span=3, parent=1,
+                         attrs={"nbytes": 4})
+        back = pickle.loads(pickle.dumps(ev))
+        assert back.as_dict() == ev.as_dict()
+        c = pickle.loads(pickle.dumps(ctx(5, 6, 4)))
+        assert (c.trace_id, c.span_id, c.parent_id) == (5, 6, 4)
+
+    def test_recorder_round_trips_through_worker_boundary(self):
+        rec = FlightRecorder(capacity=8)
+        rec.record(0.0, "msg.send", ctx(1, 1))
+        rec.span_open(ctx(1, 2), channel="ch")
+        back = pickle.loads(pickle.dumps(rec))
+        assert len(back) == 1 and back.events[0].name == "msg.send"
+        assert back.open_spans() == [2]
