@@ -93,8 +93,13 @@ def ohb_payload(cells) -> dict:
         }
         snap = c.result.metrics
         if snap is not None:
+            # cache.trace.* counters attribute host-side sample-trace
+            # cache traffic: their values depend on cache temperature
+            # (cold vs warm disk), not on (spec, seed). Rows must stay
+            # pure functions of the spec, so they are excluded from the
+            # metric census.
             row["metrics"] = {
-                "n_metrics": len(snap),
+                "n_metrics": len(snap) - len(snap.names("cache.trace.*")),
                 "polling_tax_s": polling_tax_seconds(snap),
                 "loop_busy_fraction": loop_busy_fraction(snap),
                 "iprobe_calls": iprobe_calls(snap),

@@ -20,6 +20,7 @@ from benchmarks.conftest import RESULTS_DIR
 from repro.harness.perfbench import (
     PINNED_CELLS,
     PRE_PR_BASELINE,
+    TRACE_CACHE_PAIRS,
     regressions,
     run_perf_suite,
 )
@@ -63,6 +64,29 @@ def test_speedup_vs_pre_pr_baseline_recorded(payload):
     assert set(speedups) == baselined
     assert payload["baseline"]["paired_speedup"]["fig10_groupby_8w_mpi-basic"] >= 3.0
     assert payload["baseline"]["best_speedup"] >= 3.0
+
+
+def test_trace_cache_warm_speedup_and_single_execution(payload):
+    # The trace-cache tentpole's two gates: (1) warm-cache cells skip
+    # sample execution (asserted inside the cells) and are >= 2x faster
+    # than their cold twins; (2) a full multi-transport sweep executes
+    # each unique (workload, sample-params) sample exactly once.
+    block = payload["trace_cache"]
+    if not block["sweep"]["enabled"]:
+        pytest.skip("trace cache disabled (REPRO_TRACE_CACHE=0)")
+    assert block["pairs"] == [list(p) for p in TRACE_CACHE_PAIRS]
+    for cold_name, _warm_name in TRACE_CACHE_PAIRS:
+        assert block["warm_speedup"][cold_name] >= 2.0, (
+            f"{cold_name}: warm cache only "
+            f"{block['warm_speedup'][cold_name]:.2f}x faster than cold"
+        )
+    sweep = block["sweep"]
+    assert sweep["sweep_cells"] == 18
+    assert sweep["sample_runs"] == sweep["unique_samples"] == 2
+    # The sweep's remaining 16 cells were cache hits, not re-executions.
+    delta = sweep["stats_delta"]
+    assert delta["hits_mem"] == sweep["sweep_cells"] - sweep["unique_samples"]
+    assert delta["errors"] == 0
 
 
 def test_causal_tracing_overhead_bounded(payload):

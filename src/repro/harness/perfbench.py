@@ -109,6 +109,93 @@ def _hibench_cell(name: str, transport: str) -> int:
     return sim.env.events_processed
 
 
+def _trace_cell_fig10(warm: bool) -> int:
+    """Fig-10-shaped profile build: sample trace -> scaled profile.
+
+    Cold clears both cache tiers first, so every repeat re-executes the
+    sample run; warm hits the in-process memo and must skip sample
+    execution entirely. The warm/cold wall ratio is the perf suite's
+    trace-cache gate (>= 2x on these trace-generation-dominated cells).
+    """
+    from repro.harness import tracecache
+
+    if warm:
+        GROUP_BY.sample_trace()  # prime both tiers
+    else:
+        tracecache.clear_memory_cache()
+        tracecache.clear_disk_cache()
+    before = tracecache.trace_cache_stats()["sample_runs"]
+    trace = GROUP_BY.sample_trace()
+    GROUP_BY.build_profile(FRONTERA, 8, 8 * 14 * GiB, fidelity=0.25)
+    ran = tracecache.trace_cache_stats()["sample_runs"] - before
+    # Enabled: cold runs the sample once (build_profile then hits the
+    # memo), warm skips execution entirely. Disabled: both calls run.
+    if tracecache.cache_enabled():
+        assert ran == (0 if warm else 1), f"warm={warm} ran {ran} samples"
+    return trace.total_records
+
+
+def _trace_cell_fig12(warm: bool) -> int:
+    """Fig-12 TeraSort sample-trace generation, cold vs warm.
+
+    HiBench profiles are analytic, so the trace-generation cost lives in
+    the sample program itself (the correctness-test path); the cell
+    times exactly what the cache elides.
+    """
+    from repro.harness import tracecache
+
+    spec = SPECS["TeraSort"]
+    if warm:
+        spec.sample_trace()  # prime both tiers
+    else:
+        tracecache.clear_memory_cache()
+        tracecache.clear_disk_cache()
+    before = tracecache.trace_cache_stats()["sample_runs"]
+    trace = spec.sample_trace()
+    spec.build_profile(FRONTERA, 16, fidelity=0.25)
+    ran = tracecache.trace_cache_stats()["sample_runs"] - before
+    if tracecache.cache_enabled():
+        assert ran == (0 if warm else 1), f"warm={warm} ran {ran} samples"
+    return trace.total_records
+
+
+def trace_cache_sweep() -> dict:
+    """Multi-transport sweep proving sample execution count = 1 per
+    unique (workload, sample-params).
+
+    Builds profiles for 2 OHB workloads x 3 worker counts x 3 transports
+    (18 cells; transports don't enter build_profile, mirroring how the
+    figure sweeps share one trace per workload) from a fully cold cache
+    and reports the observed sample runs against the unique-trace count.
+    """
+    from repro.harness import tracecache
+    from repro.workloads.ohb import SORT_BY
+
+    tracecache.clear_memory_cache()
+    tracecache.clear_disk_cache()
+    before = tracecache.trace_cache_stats()
+    workloads = (GROUP_BY, SORT_BY)
+    worker_counts = (2, 4, 8)
+    transports = ("nio", "rdma", "mpi-opt")
+    cells = 0
+    for workload in workloads:
+        for n_workers in worker_counts:
+            for _transport in transports:
+                workload.build_profile(
+                    FRONTERA, n_workers, n_workers * 14 * GiB, fidelity=0.25
+                )
+                cells += 1
+    after = tracecache.trace_cache_stats()
+    delta = {k: after[k] - before[k] for k in after}
+    return {
+        "sweep_cells": cells,
+        "unique_samples": len(workloads),
+        "sample_runs": delta["sample_runs"],
+        "stats_delta": delta,
+        "enabled": tracecache.cache_enabled(),
+    }
+
+
 # name -> zero-arg callable returning the engine's event count for the run
 PINNED_CELLS: dict[str, Callable[[], int]] = {
     "fig8_pingpong_nio": lambda: _pingpong_cell("nio"),
@@ -123,7 +210,20 @@ PINNED_CELLS: dict[str, Callable[[], int]] = {
     "fig9_groupby_2w_mpi-opt": lambda: _ohb_cell(2, 28 * GiB, "mpi-opt"),
     "fig10_groupby_8w_mpi-basic": lambda: _ohb_cell(8, 8 * 14 * GiB, "mpi-basic"),
     "fig12_terasort_frontera_mpi-opt": lambda: _hibench_cell("TeraSort", "mpi-opt"),
+    # Trace-cache cold/warm pairs: same fig-10 / fig-12 cells' profile
+    # construction, differing only in cache temperature. Warm must skip
+    # sample execution (asserted inside) and be >= 2x faster than cold.
+    "fig10_trace_groupby_8w_cold": lambda: _trace_cell_fig10(warm=False),
+    "fig10_trace_groupby_8w_warm": lambda: _trace_cell_fig10(warm=True),
+    "fig12_trace_terasort_cold": lambda: _trace_cell_fig12(warm=False),
+    "fig12_trace_terasort_warm": lambda: _trace_cell_fig12(warm=True),
 }
+
+# (cold, warm) pinned-cell pairs gated at warm >= 2x cold.
+TRACE_CACHE_PAIRS: list[tuple[str, str]] = [
+    ("fig10_trace_groupby_8w_cold", "fig10_trace_groupby_8w_warm"),
+    ("fig12_trace_terasort_cold", "fig12_trace_terasort_warm"),
+]
 
 
 def run_cell(name: str, repeats: int = 3) -> PerfCell:
@@ -178,6 +278,19 @@ def run_perf_suite(
             "wall_ratio": on.wall_seconds / off.wall_seconds,
             "events_identical": on.events_processed == off.events_processed,
         }
+    # Trace-cache block: the cold/warm pinned pairs' wall ratios plus the
+    # multi-transport sweep proving one sample execution per unique
+    # (workload, sample-params).
+    pair_speedups = {}
+    for cold_name, warm_name in TRACE_CACHE_PAIRS:
+        cold, warm = by_name.get(cold_name), by_name.get(warm_name)
+        if cold is not None and warm is not None and warm.wall_seconds > 0:
+            pair_speedups[cold_name] = cold.wall_seconds / warm.wall_seconds
+    trace_cache_block = {
+        "pairs": [list(p) for p in TRACE_CACHE_PAIRS],
+        "warm_speedup": pair_speedups,
+        "sweep": trace_cache_sweep(),
+    }
     return {
         "schema": SCHEMA,
         "host": {
@@ -185,6 +298,7 @@ def run_perf_suite(
             "cpus": os.cpu_count(),
         },
         "cells": [asdict(r) for r in rows],
+        "trace_cache": trace_cache_block,
         "obs_causal_overhead": obs_overhead,
         "peak_rss_kib": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
         "baseline": {

@@ -61,6 +61,10 @@ class FluidNetwork:
         self.flows: dict[int, Flow] = {}
         self.link_flows: dict[Hashable, set[int]] = {}
         self.link_caps: dict[Hashable, float] = {}
+        # Running sum of active flow rates per link, maintained at every
+        # rate change / flow removal so utilization() is O(1) instead of
+        # scanning link_flows.
+        self.link_rate: dict[Hashable, float] = {}
         self.completed = 0
         # Time-weighted concurrency of bulk transfers (repro.obs).
         self._g_active = env.metrics.time_gauge("simnet.fluid.active_flows")
@@ -87,6 +91,7 @@ class FluidNetwork:
             if key not in self.link_caps:
                 self.link_caps[key] = float(cap)
                 self.link_flows[key] = set()
+                self.link_rate[key] = 0.0
             keys.append(key)
         flow = Flow(tuple(keys), nbytes, done)
         flow.last = self.env.now
@@ -120,6 +125,7 @@ class FluidNetwork:
             del self.flows[flow.fid]
             for key in flow.links:
                 self.link_flows[key].discard(flow.fid)
+                self.link_rate[key] -= flow.rate
             flow.gen += 1  # stale completion timers become no-ops
             self._cancel_timer(flow)
             flow.done.fail(exc_factory())
@@ -132,16 +138,16 @@ class FluidNetwork:
         return len(victims)
 
     def utilization(self, link: Hashable) -> float:
-        """Instantaneous share of a link's capacity in use."""
+        """Instantaneous share of a link's capacity in use.
+
+        O(1): reads the running per-link rate sum maintained by _rerate
+        and the removal paths instead of scanning the link's flows. The
+        max(0, ·) clamps float cancellation residue near zero.
+        """
         cap = self.link_caps.get(link)
         if not cap:
             return 0.0
-        used = sum(
-            self.flows[fid].rate
-            for fid in self.link_flows.get(link, ())
-            if fid in self.flows
-        )
-        return used / cap
+        return max(self.link_rate.get(link, 0.0), 0.0) / cap
 
     # -- internals ----------------------------------------------------------
     def _affected(self, keys) -> set[int]:
@@ -169,6 +175,11 @@ class FluidNetwork:
         (tombstoned) instead of left to fire as a no-op.
         """
         touched = []
+        # sorted(fids) is load-bearing: _arm() below enqueues completion
+        # timers, and the event heap breaks same-timestamp ties by
+        # insertion sequence. Iterating a raw set would make timer order
+        # (and thus simulated schedules) depend on set-iteration order,
+        # breaking the byte-identical committed figure rows.
         for fid in sorted(fids):
             flow = self.flows.get(fid)
             if flow is None:
@@ -177,6 +188,7 @@ class FluidNetwork:
             touched.append(flow)
         link_caps = self.link_caps
         link_flows = self.link_flows
+        link_rate = self.link_rate
         for flow in touched:
             links = flow.links
             if len(links) == 2:
@@ -184,11 +196,16 @@ class FluidNetwork:
                 a, b = links
                 ra = link_caps[a] / len(link_flows[a])
                 rb = link_caps[b] / len(link_flows[b])
-                flow.rate = ra if ra < rb else rb
+                rate = ra if ra < rb else rb
             else:
-                flow.rate = min(
+                rate = min(
                     link_caps[key] / len(link_flows[key]) for key in links
                 )
+            delta = rate - flow.rate
+            if delta:
+                for key in links:
+                    link_rate[key] += delta
+            flow.rate = rate
             flow.gen += 1
             self._arm(flow)
 
@@ -220,6 +237,7 @@ class FluidNetwork:
         del self.flows[flow.fid]
         for key in flow.links:
             self.link_flows[key].discard(flow.fid)
+            self.link_rate[key] -= flow.rate
         self.completed += 1
         self._g_active.set(len(self.flows))
         flow.done.succeed()

@@ -489,22 +489,38 @@ class SparkSimCluster:
         self.executors: list[SimExecutor] = []
         self.launch_seconds = 0.0
         self._launched = False
-        # Attribute estimate_size cache traffic to this cluster: the cache
-        # and its hit/miss tallies are process-global, so snapshot hooks
-        # publish the delta since cluster construction.
+        # Attribute cache traffic to this cluster: the estimate_size shape
+        # memo and the sample-trace cache keep process-global tallies, so
+        # snapshot hooks publish deltas since cluster construction under
+        # one ``cache.*`` namespace (surfaced via RunResult.metrics).
+        from repro.harness.tracecache import trace_cache_stats
         from repro.util.serialization import size_cache_stats
 
         m = self.env.metrics
-        c_hits = m.counter("serialization.size_cache_hits")
-        c_misses = m.counter("serialization.size_cache_misses")
+        c_size_hits = m.counter("cache.size.hits")
+        c_size_misses = m.counter("cache.size.misses")
         base_hits, base_misses = size_cache_stats()
+        trace_counters = {
+            "hits": m.counter("cache.trace.hits"),
+            "misses": m.counter("cache.trace.misses"),
+            "sample_runs": m.counter("cache.trace.sample_runs"),
+            "bytes_read": m.counter("cache.trace.bytes_read"),
+            "bytes_written": m.counter("cache.trace.bytes_written"),
+        }
+        trace_base = trace_cache_stats()
 
-        def _publish_size_cache() -> None:
+        def _publish_cache_stats() -> None:
             hits, misses = size_cache_stats()
-            c_hits.value = float(hits - base_hits)
-            c_misses.value = float(misses - base_misses)
+            c_size_hits.value = float(hits - base_hits)
+            c_size_misses.value = float(misses - base_misses)
+            stats = trace_cache_stats()
+            stats["hits"] = stats["hits_mem"] + stats["hits_disk"]
+            base = dict(trace_base)
+            base["hits"] = base["hits_mem"] + base["hits_disk"]
+            for name, counter in trace_counters.items():
+                counter.value = float(stats[name] - base[name])
 
-        m.on_snapshot(_publish_size_cache)
+        m.on_snapshot(_publish_cache_stats)
 
     @classmethod
     def from_conf(

@@ -21,7 +21,7 @@ import numpy as np
 from repro.spark.dag import Job, Stage
 from repro.spark.rdd import ShuffleDependency, TaskContext
 from repro.spark.tracing import StageTrace
-from repro.util.serialization import estimate_size, sizeof
+from repro.util.serialization import estimate_batch, sizeof
 
 
 class MapOutputRegistry:
@@ -129,25 +129,30 @@ class LocalBackend:
         for map_id in range(n_maps):
             task_ctx = LocalTaskContext(self)
             buckets: list[Any] = [None] * n_reds
-            records_in = 0
+            # Batched data plane: materialize the partition (shuffle map
+            # stages always consume their input fully), then partition
+            # all keys in one vectorized call. Record order within each
+            # bucket is the arrival order, exactly as the per-record
+            # loop produced.
+            records = list(stage.rdd.iterator(map_id, task_ctx))
+            records_in = len(records)
+            rids = dep.partitioner.partition_many([kv[0] for kv in records])
             if dep.map_side_combine and agg is not None:
-                for k, v in stage.rdd.iterator(map_id, task_ctx):
-                    records_in += 1
-                    rid = dep.partitioner.partition(k)
+                merge_value = agg.merge_value
+                create_combiner = agg.create_combiner
+                for (k, v), rid in zip(records, rids):
                     bucket = buckets[rid]
                     if bucket is None:
                         bucket = buckets[rid] = {}
                     if k in bucket:
-                        bucket[k] = agg.merge_value(bucket[k], v)
+                        bucket[k] = merge_value(bucket[k], v)
                     else:
-                        bucket[k] = agg.create_combiner(v)
+                        bucket[k] = create_combiner(v)
                 bucket_lists = [
                     list(b.items()) if b else [] for b in buckets
                 ]
             else:
-                for kv in stage.rdd.iterator(map_id, task_ctx):
-                    records_in += 1
-                    rid = dep.partitioner.partition(kv[0])
+                for kv, rid in zip(records, rids):
                     bucket = buckets[rid]
                     if bucket is None:
                         bucket = buckets[rid] = []
@@ -159,7 +164,7 @@ class LocalBackend:
             for rid, bucket in enumerate(bucket_lists):
                 if not bucket:
                     continue
-                nbytes = sum(estimate_size(r) for r in bucket)
+                nbytes = estimate_batch(bucket)
                 self.map_outputs.put(dep.shuffle_id, map_id, rid, bucket, nbytes)
                 trace.shuffle_matrix[map_id, rid] = nbytes
                 trace.shuffle_records[map_id, rid] = len(bucket)

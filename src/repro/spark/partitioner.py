@@ -12,6 +12,13 @@ import bisect
 import random
 from typing import Any, Iterable, Sequence
 
+import numpy as np
+
+# Python's hash() is the identity on ints in [0, 2**61 - 1) (it reduces
+# modulo the Mersenne prime 2**61 - 1), which is what lets the batched
+# hash path below replace per-key hash() calls with one vectorized mod.
+_HASH_IDENTITY_MAX = (1 << 61) - 1
+
 
 class Partitioner:
     """Maps keys to partition ids in ``[0, num_partitions)``."""
@@ -23,6 +30,16 @@ class Partitioner:
 
     def partition(self, key: Any) -> int:
         raise NotImplementedError
+
+    def partition_many(self, keys: Sequence[Any]) -> list[int]:
+        """Batched :meth:`partition`; subclasses add vectorized paths.
+
+        Must return exactly ``[self.partition(k) for k in keys]`` — the
+        shuffle data plane relies on that identity for byte-identical
+        traffic matrices.
+        """
+        part = self.partition
+        return [part(k) for k in keys]
 
     def __eq__(self, other: object) -> bool:
         return type(self) is type(other) and self.num_partitions == other.num_partitions
@@ -36,6 +53,20 @@ class HashPartitioner(Partitioner):
 
     def partition(self, key: Any) -> int:
         return hash(key) % self.num_partitions
+
+    def partition_many(self, keys: Sequence[Any]) -> list[int]:
+        # Vectorized path for all-int key batches (the common shuffle
+        # case) where hash(k) == k; anything else — bools, negatives,
+        # huge ints, mixed or non-int keys — falls back per key.
+        if keys and set(map(type, keys)) == {int}:
+            try:
+                arr = np.fromiter(keys, dtype=np.int64, count=len(keys))
+            except OverflowError:
+                arr = None
+            if arr is not None and int(arr.min()) >= 0 and int(arr.max()) < _HASH_IDENTITY_MAX:
+                return (arr % self.num_partitions).tolist()
+        part = self.partition
+        return [part(k) for k in keys]
 
 
 class RangePartitioner(Partitioner):
@@ -58,6 +89,32 @@ class RangePartitioner(Partitioner):
         if not self.ascending:
             idx = self.num_partitions - 1 - idx
         return idx
+
+    def partition_many(self, keys: Sequence[Any]) -> list[int]:
+        # Vectorized searchsorted for all-int keys against all-int
+        # bounds: np.searchsorted(side="left") on exact int64 values is
+        # bisect_left. Floats are excluded (NaN ordering differs) and
+        # anything unrepresentable in int64 falls back per key.
+        if (
+            keys
+            and self.bounds
+            and set(map(type, keys)) == {int}
+            and set(map(type, self.bounds)) == {int}
+        ):
+            try:
+                karr = np.fromiter(keys, dtype=np.int64, count=len(keys))
+                barr = np.fromiter(
+                    self.bounds, dtype=np.int64, count=len(self.bounds)
+                )
+            except OverflowError:
+                karr = None
+            if karr is not None:
+                idx = np.searchsorted(barr, karr, side="left")
+                if not self.ascending:
+                    idx = self.num_partitions - 1 - idx
+                return idx.tolist()
+        part = self.partition
+        return [part(k) for k in keys]
 
     def __eq__(self, other: object) -> bool:
         return (

@@ -63,10 +63,15 @@ class Aggregator:
         create_combiner: Callable[[Any], Any],
         merge_value: Callable[[Any, Any], Any],
         merge_combiners: Callable[[Any, Any], Any],
+        grouping: bool = False,
     ) -> None:
         self.create_combiner = create_combiner
         self.merge_value = merge_value
         self.merge_combiners = merge_combiners
+        # grouping=True declares the combiner triple to be plain list
+        # grouping ([v] / append / concat), letting the reduce side use a
+        # direct dict-of-lists loop instead of two lambda calls per record.
+        self.grouping = grouping
 
 
 class ShuffleDependency(Dependency):
@@ -212,8 +217,11 @@ class RDD:
         merge_combiners: Callable[[Any, Any], Any],
         num_partitions: int | None = None,
         map_side_combine: bool = True,
+        grouping: bool = False,
     ) -> "RDD":
-        agg = Aggregator(create_combiner, merge_value, merge_combiners)
+        agg = Aggregator(
+            create_combiner, merge_value, merge_combiners, grouping=grouping
+        )
         part = HashPartitioner(self._default_partitions(num_partitions))
         return ShuffledRDD(self, part, aggregator=agg, map_side_combine=map_side_combine)
 
@@ -226,6 +234,7 @@ class RDD:
             lambda a, b: a + b,
             num_partitions,
             map_side_combine=False,
+            grouping=True,
         )
 
     def reduce_by_key(
@@ -559,17 +568,32 @@ class ShuffledRDD(RDD):
             combined: dict[Any, Any] = {}
             if dep.map_side_combine:
                 # Values arriving are already combiners.
+                merge_combiners = agg.merge_combiners
                 for k, c in records:
                     if k in combined:
-                        combined[k] = agg.merge_combiners(combined[k], c)
+                        combined[k] = merge_combiners(combined[k], c)
                     else:
                         combined[k] = c
+            elif agg.grouping:
+                # groupByKey fast path: the combiners are plain lists, so
+                # group directly (C-level dict/list ops) instead of two
+                # Python lambda calls per record. Key insertion order and
+                # per-key value order match the generic loop exactly.
+                get = combined.get
+                for k, v in records:
+                    acc = get(k)
+                    if acc is None:
+                        combined[k] = [v]
+                    else:
+                        acc.append(v)
             else:
+                merge_value = agg.merge_value
+                create_combiner = agg.create_combiner
                 for k, v in records:
                     if k in combined:
-                        combined[k] = agg.merge_value(combined[k], v)
+                        combined[k] = merge_value(combined[k], v)
                     else:
-                        combined[k] = agg.create_combiner(v)
+                        combined[k] = create_combiner(v)
             records = iter(combined.items())
         if dep.key_ordering:
             records = iter(

@@ -59,6 +59,44 @@ class JobTrace:
         raise KeyError(f"no stage labeled {label!r} in job {self.job_id}")
 
 
+@dataclass(frozen=True)
+class SampleTrace:
+    """Frozen, picklable result of one sample-scale execution.
+
+    This is the artifact the trace cache stores: everything
+    ``build_profile`` consumes from a sample run (stage structure, shuffle
+    matrices, record/byte counts), decoupled from the live SparkContext
+    that produced it. ``sample_params`` records the exact parameters the
+    sample ran with, so cached artifacts are self-describing.
+    """
+
+    workload: str
+    sample_params: tuple[tuple[str, Any], ...]
+    stages: tuple[StageTrace, ...]
+    schema: str = "sample-trace/1"
+
+    @classmethod
+    def from_recorder(
+        cls, recorder: "TraceRecorder", workload: str, sample_params: dict[str, Any]
+    ) -> "SampleTrace":
+        return cls(
+            workload=workload,
+            sample_params=tuple(sorted(sample_params.items())),
+            stages=tuple(recorder.all_stages()),
+        )
+
+    def find_stage(self, label_suffix: str) -> StageTrace:
+        """First stage whose label ends with ``label_suffix``."""
+        for st in self.stages:
+            if st.label.endswith(label_suffix):
+                return st
+        raise KeyError(f"no stage label ending in {label_suffix!r}")
+
+    @property
+    def total_records(self) -> int:
+        return sum(st.total_records_in for st in self.stages)
+
+
 class TraceRecorder:
     """Accumulates job traces during local execution."""
 

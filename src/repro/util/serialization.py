@@ -12,7 +12,9 @@ from __future__ import annotations
 
 import pickle
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Iterable
+
+import numpy as np
 
 # Fixed-size primitives get a flat cost so sizing is O(1) on the hot path
 # (per-record sizing during shuffle writes) instead of a pickle round-trip.
@@ -54,6 +56,12 @@ def _shape_key(obj: Any) -> Any:
                 return None
             parts.append(k)
         return (t, tuple(parts))
+    if t is np.ndarray:
+        # nbytes is a pure function of (dtype, shape) — content-free.
+        return (t, obj.dtype.str, obj.shape)
+    if isinstance(obj, np.generic):
+        # numpy scalars (np.float64 labels etc.): fixed itemsize per type.
+        return t
     return None
 
 
@@ -76,6 +84,40 @@ def estimate_size(obj: Any) -> int:
     else:
         _cache_hits += 1
     return size
+
+
+def estimate_batch(records: Iterable[Any]) -> int:
+    """Exact ``sum(estimate_size(r) for r in records)``, chunked.
+
+    The shuffle write path sizes whole buckets at once; for the dominant
+    shape — a bucket of uniform-arity tuples, e.g. ``(int, bytes)`` pairs
+    — the sum is computed column-wise with C-level ``map``/``sum`` calls
+    instead of one Python-level sizing call per record. Columns that are
+    not uniformly primitive fall back to per-element :func:`estimate_size`
+    (which still memoizes repeated shapes), so the result is the exact
+    per-record sum by construction for every input.
+    """
+    if not isinstance(records, (list, tuple)):
+        records = list(records)
+    n = len(records)
+    if n == 0:
+        return 0
+    if n > 1 and set(map(type, records)) == {tuple} and len(set(map(len, records))) == 1:
+        total = 8 * n  # per-tuple container overhead (see sizeof)
+        for col in zip(*records):
+            col_types = set(map(type, col))
+            if len(col_types) == 1:
+                (ct,) = col_types
+                flat = _PRIMITIVE_SIZES.get(ct)
+                if flat is not None:
+                    total += flat * n
+                    continue
+                if ct is bytes or ct is bytearray:
+                    total += sum(map(len, col))
+                    continue
+            total += sum(map(estimate_size, col))
+        return total
+    return sum(map(estimate_size, records))
 
 
 def size_cache_stats() -> tuple[int, int]:

@@ -23,9 +23,9 @@ def labeled_points(
     def gen(split: int):
         rng = np.random.default_rng(seed + split)
         per = n_points // num_partitions
+        w = np.linspace(-1, 1, dim)  # rng-free: hoisted out of the loop
         for _ in range(per):
             x = rng.normal(size=dim)
-            w = np.linspace(-1, 1, dim)
             label = 1.0 if float(x @ w) + rng.normal(0, 0.1) > 0 else -1.0
             yield (label, x)
 
@@ -80,9 +80,10 @@ def tera_records(
     def gen(split: int):
         rng = random.Random(seed + split)
         per = n_records // num_partitions
+        payload = b"\x00" * 90  # constant: built once, not per record
         for _ in range(per):
             key = bytes(rng.getrandbits(8) for _ in range(10))
-            yield (key, b"\x00" * 90)
+            yield (key, payload)
 
     return sc.generated(num_partitions, gen, name="tera-records")
 
@@ -96,8 +97,9 @@ def kv_records(
     def gen(split: int):
         rng = random.Random(seed + split)
         per = n_records // num_partitions
+        value = bytes(value_bytes)  # constant: built once, not per record
         for _ in range(per):
-            yield (rng.getrandbits(32), bytes(value_bytes))
+            yield (rng.getrandbits(32), value)
 
     return sc.generated(num_partitions, gen, name="kv-records")
 

@@ -42,10 +42,18 @@ from repro.harness.profile import (
     spread_cpu,
 )
 from repro.harness.systems import SystemConfig
+from repro.harness.tracecache import get_or_trace
+from repro.spark.conf import SparkConf
+from repro.spark.context import SparkContext
+from repro.spark.tracing import SampleTrace
 from repro.util.units import GiB, MiB
 from repro.workloads.calibration import COSTS
 
 MAX_SIMULATED_ROUNDS = 8
+
+# Cache-key version tag for HiBench sample traces (bump when a sample
+# program or the data plane changes what a sample run records).
+TRACE_VERSION = "hibench/1"
 
 # HDFS on the evaluation nodes: effective per-node sequential throughput of
 # the datanode path (disk/page-cache + HDFS protocol). HDFS replication
@@ -192,6 +200,102 @@ class HiBenchSpec:
             cores_per_executor=cores,
             stages=stages,
         )
+
+    def trace_sample(self, **params) -> SampleTrace:
+        """Execute this workload's real sample program; freeze the traces.
+
+        Unlike OHB, the HiBench profiles above are analytic (calibrated
+        constants), so the sample trace feeds correctness tests and the
+        perf suite's cold/warm cells rather than ``build_profile``.
+        """
+        program = SAMPLE_PROGRAMS.get(self.name)
+        if program is None:
+            raise KeyError(f"no sample program registered for {self.name!r}")
+        merged = {**SAMPLE_PARAM_DEFAULTS[self.name], **params}
+        sc = SparkContext(SparkConf({"spark.default.parallelism": "4"}))
+        program(sc, **merged)
+        return SampleTrace.from_recorder(sc.tracer, self.name, merged)
+
+    def sample_trace(self, **params) -> SampleTrace:
+        """The frozen sample trace, via the two-tier trace cache."""
+        merged = {**SAMPLE_PARAM_DEFAULTS[self.name], **params}
+        return get_or_trace(
+            self.name,
+            TRACE_VERSION,
+            merged,
+            lambda: self.trace_sample(**merged),
+            cost_constants=COSTS[self.name],
+        )
+
+
+# -- sample programs (real executions, traced) ------------------------------
+# Imported lazily inside each runner: ml/micro/graph import the hibench
+# package, which imports this module at package-init time.
+
+def _sample_svm(sc, **kw):
+    from repro.workloads.hibench import ml
+
+    ml.train_svm(sc, **kw)
+
+
+def _sample_lr(sc, **kw):
+    from repro.workloads.hibench import ml
+
+    ml.train_logistic_regression(sc, **kw)
+
+
+def _sample_gmm(sc, **kw):
+    from repro.workloads.hibench import ml
+
+    ml.train_gmm(sc, **kw)
+
+
+def _sample_lda(sc, **kw):
+    from repro.workloads.hibench import ml
+
+    ml.train_lda(sc, **kw)
+
+
+def _sample_terasort(sc, **kw):
+    from repro.workloads.hibench import micro
+
+    micro.terasort(sc, **kw).count()
+
+
+def _sample_repartition(sc, **kw):
+    from repro.workloads.hibench import micro
+
+    micro.repartition(sc, **kw).count()
+
+
+def _sample_nweight(sc, **kw):
+    from repro.workloads.hibench import graph
+
+    graph.nweight(sc, **kw).count()
+
+
+SAMPLE_PROGRAMS: dict[str, Callable] = {
+    "SVM": _sample_svm,
+    "LR": _sample_lr,
+    "GMM": _sample_gmm,
+    "LDA": _sample_lda,
+    "TeraSort": _sample_terasort,
+    "Repartition": _sample_repartition,
+    "NWeight": _sample_nweight,
+}
+
+# Fixed sample-scale parameters: part of the trace-cache key, so changing
+# them addresses new cache entries rather than invalidating old ones.
+SAMPLE_PARAM_DEFAULTS: dict[str, dict] = {
+    "SVM": {"n_points": 800, "dim": 8, "iterations": 2},
+    "LR": {"n_points": 800, "dim": 8, "iterations": 2},
+    "GMM": {"n_points": 600, "dim": 2, "k": 3, "iterations": 2},
+    "LDA": {"n_docs": 120, "vocab": 80, "n_topics": 4, "words_per_doc": 12,
+            "iterations": 1},
+    "TeraSort": {"n_records": 3000, "num_partitions": 4},
+    "Repartition": {"n_records": 2000, "num_partitions": 4},
+    "NWeight": {"n_vertices": 80, "avg_degree": 3, "hops": 2},
+}
 
 
 # ---------------------------------------------------------------------------

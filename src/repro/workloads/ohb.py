@@ -32,8 +32,17 @@ from repro.harness.profile import (
     spread_cpu,
 )
 from repro.harness.systems import SystemConfig
+from repro.harness.tracecache import get_or_trace
 from repro.spark import SparkConf, SparkContext
+from repro.spark.tracing import SampleTrace
 from repro.workloads.calibration import COSTS, WorkloadCosts
+
+# Cache-key version tag for OHB sample traces: bump on any change to
+# run_sample / build_rdd / the data plane that alters what a sample run
+# records (stale disk entries then simply stop being addressed).
+TRACE_VERSION = "ohb/1"
+
+SAMPLE_DEFAULTS = {"num_pairs": 4000, "num_partitions": 4, "value_bytes": 64}
 
 
 @dataclass
@@ -54,8 +63,9 @@ class OhbWorkload:
         def gen(split: int):
             rng = random.Random(seed + split)
             per_part = num_pairs // num_partitions
+            value = bytes(value_bytes)  # constant payload: build once
             for _ in range(per_part):
-                yield (rng.randint(0, num_pairs), bytes(value_bytes))
+                yield (rng.randint(0, num_pairs), value)
 
         pairs = sc.generated(num_partitions, gen, name=f"{self.name}-datagen")
         if self.name == "GroupByTest":
@@ -77,8 +87,9 @@ class OhbWorkload:
         def gen(split: int):
             rng = random.Random(1234 + split)
             per_part = num_pairs // num_partitions
+            value = bytes(value_bytes)  # constant payload: build once
             for _ in range(per_part):
-                yield (rng.randint(0, num_pairs), bytes(value_bytes))
+                yield (rng.randint(0, num_pairs), value)
 
         pairs = sc.generated(num_partitions, gen, name=f"{self.name}-datagen").cache()
         assert pairs.count() == (num_pairs // num_partitions) * num_partitions  # Job0
@@ -88,6 +99,29 @@ class OhbWorkload:
             result = pairs.sort_by_key(num_partitions=num_partitions)
         result.count()  # the shuffle job
         return sc
+
+    def trace_sample(self, **params) -> SampleTrace:
+        """Execute the sample run and freeze its traces (no caching)."""
+        merged = {**SAMPLE_DEFAULTS, **params}
+        sc = self.run_sample(**merged)
+        return SampleTrace.from_recorder(sc.tracer, self.name, merged)
+
+    def sample_trace(self, **params) -> SampleTrace:
+        """The frozen sample trace, via the two-tier trace cache.
+
+        The cache key covers the workload name, ``TRACE_VERSION``, the
+        sample parameters and the workload's cost constants — nothing
+        about transport/system/scale, because the trace depends on none
+        of those.
+        """
+        merged = {**SAMPLE_DEFAULTS, **params}
+        return get_or_trace(
+            self.name,
+            TRACE_VERSION,
+            merged,
+            lambda: self.trace_sample(**merged),
+            cost_constants=self.costs,
+        )
 
     # -- scaled profile ------------------------------------------------------------
     def build_profile(
@@ -111,12 +145,12 @@ class OhbWorkload:
         total_cores = n_workers * cores
         n_tasks = max(n_workers, int(total_cores * tasks_per_core * fidelity))
 
-        sc = self.run_sample()
+        trace = self.sample_trace()
         if self.name == "GroupByTest":
             map_label, read_label = "Job1-ShuffleMapStage", "Job1-ResultStage"
         else:
             map_label, read_label = "Job2-ShuffleMapStage", "Job2-ResultStage"
-        map_trace = sc.tracer.find_stage(map_label)
+        map_trace = trace.find_stage(map_label)
         cv = measured_cv(map_trace)
 
         total_records = nominal_bytes / costs.record_bytes

@@ -155,3 +155,46 @@ class TestConservation:
         order = sorted(range(len(sizes)), key=lambda i: finishes[i])
         for earlier, later in zip(order, order[1:]):
             assert sizes[earlier] <= sizes[later] * (1 + 1e-6)
+
+
+class TestRunningRateSum:
+    def test_utilization_tracks_completions_and_aborts(self, env):
+        # utilization() reads a running per-link rate sum; it must agree
+        # with a recompute from live flows at every topology change.
+        net = FluidNetwork(env)
+
+        def recomputed(link):
+            cap = net.link_caps.get(link)
+            if not cap:
+                return 0.0
+            return sum(
+                net.flows[fid].rate for fid in net.link_flows.get(link, ())
+                if fid in net.flows
+            ) / cap
+
+        def check():
+            for link in net.link_caps:
+                assert net.utilization(link) == pytest.approx(recomputed(link))
+
+        def driver(env):
+            net.transfer([("a", 100.0), ("b", 50.0)], 400.0)
+            net.transfer([("b", 50.0)], 200.0)
+            net.transfer([("c", 10.0)], 1e9)  # long-lived victim
+            check()
+            yield env.timeout(1.0)
+            check()  # mid-flight, after re-rates
+            yield env.timeout(30.0)
+            check()  # a/b flows completed; their rates were removed
+            assert net.utilization("a") == 0.0
+            assert net.utilization("b") == 0.0
+            assert net.utilization("c") == pytest.approx(1.0)
+            net.abort_flows(lambda k: k == "c", RuntimeError)
+            check()
+            assert net.utilization("c") == 0.0
+
+        proc = env.process(driver(env))
+        try:
+            env.run()
+        except RuntimeError:
+            pass  # the aborted flow's done-event failure propagates
+        assert net.active_count == 0
