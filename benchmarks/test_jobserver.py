@@ -1,0 +1,143 @@
+"""Contention study — the multi-tenant job server over all transports.
+
+The question ROADMAP.md poses past the paper's one-job-at-a-time figures:
+does the mpi-opt transport advantage survive a continuous stream of
+concurrent applications? A seeded 20-job Poisson trace runs under all
+three inter-job schedulers × four transports; per-cell p50/p99 JCT and
+queueing delay land in ``results/BENCH_jobserver.json``.
+
+Headline shapes asserted here (and visible in the committed rows):
+
+* mpi-opt's mean JCT beats mpi-basic's under **every** scheduler — the
+  paper's transport ranking holds under contention;
+* mpi-basic queues far more than the others under FIFO: the polling tax
+  shrinks the effective slot pool, so head-of-line blocking compounds it;
+* fair-share beats FIFO on mean JCT for every transport (water-filling
+  removes head-of-line blocking).
+
+Rows are a pure function of (spec, seed): the determinism tests assert
+byte-identical reports across reruns and across worker counts, and the
+golden test pins the committed rows bit-exactly.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from benchmarks.conftest import run_once, write_bench_json
+from repro.harness.parallel import run_jobserver_cell, run_jobserver_cells
+from repro.jobserver import JobServerReport, cell_stats
+from repro.util.units import MiB
+
+TRANSPORTS = ("nio", "rdma", "mpi-basic", "mpi-opt")
+SCHEDULERS = ("fifo", "fair", "pack")
+
+N_WORKERS = 4
+CORES = 8
+CLUSTER_SEED = 7
+# 20 jobs, ~1s apart, sized/parallelized to overcommit the 4×8-core
+# cluster — the geometry is fixed (not REPRO_FULL-scaled) so the committed
+# golden rows pin one canonical contention study.
+TRACE_SPEC = (42, 20, 1.0, 64 * MiB, 256 * MiB, (8, 16, 24), 0.25)
+
+GOLDEN_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "results"
+    / "BENCH_jobserver.json"
+)
+
+
+def _spec(transport, scheduler):
+    return (transport, scheduler, "Frontera", N_WORKERS, CORES, CLUSTER_SEED,
+            TRACE_SPEC)
+
+
+@pytest.fixture(scope="module")
+def results(jobs):
+    specs = [_spec(t, s) for t in TRANSPORTS for s in SCHEDULERS]
+    return run_jobserver_cells(specs, jobs)
+
+
+@pytest.fixture(scope="module")
+def report(results):
+    return JobServerReport.from_results(results)
+
+
+def test_jobserver_runs(benchmark, report):
+    cell = run_once(benchmark, run_jobserver_cell, _spec("mpi-opt", "fifo"))
+    print()
+    print(report.render())
+    assert len(cell.finished) == TRACE_SPEC[1]
+    assert report.cells and len(report.cells) == len(TRANSPORTS) * len(SCHEDULERS)
+
+
+class TestContentionShape:
+    def test_every_job_finishes_everywhere(self, results):
+        for res in results:
+            assert len(res.finished) == TRACE_SPEC[1]
+            assert not [r for r in res.records if r.failed]
+
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    def test_opt_beats_basic_under_contention(self, report, scheduler):
+        """The paper's transport ranking survives multi-tenancy."""
+        basic = report.cell("mpi-basic", scheduler)
+        opt = report.cell("mpi-opt", scheduler)
+        assert opt.mean_jct_s < basic.mean_jct_s
+        assert opt.p99_jct_s < basic.p99_jct_s
+
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_fair_share_beats_fifo_mean_jct(self, report, transport):
+        fair = report.cell(transport, "fair")
+        fifo = report.cell(transport, "fifo")
+        assert fair.mean_jct_s < fifo.mean_jct_s
+
+    def test_polling_tax_amplifies_queueing(self, report):
+        """mpi-basic's polling tax shrinks the slot pool, so head-of-line
+        blocking under FIFO queues far deeper than on mpi-opt."""
+        basic = report.cell("mpi-basic", "fifo")
+        opt = report.cell("mpi-opt", "fifo")
+        assert basic.p99_queue_s > opt.p99_queue_s
+        assert basic.makespan_s > opt.makespan_s
+
+    def test_queueing_delay_present(self, report):
+        assert any(c.p99_queue_s > 0 for c in report.cells)
+
+
+class TestDeterminism:
+    def test_rerun_is_byte_identical(self, report):
+        again = run_jobserver_cell(_spec("nio", "fifo"))
+        assert cell_stats(again) == report.cell("nio", "fifo")
+
+    def test_rows_identical_across_worker_counts(self, results):
+        """Fan-out invariance: serial rerun of two cells matches the
+        module fixture (which may have run under --jobs N)."""
+        serial = run_jobserver_cells(
+            [_spec("mpi-basic", "fair"), _spec("mpi-opt", "pack")], jobs=1
+        )
+        by_key = {(r.transport, r.scheduler): r for r in results}
+        for res in serial:
+            ref = by_key[(res.transport, res.scheduler)]
+            assert [r.finish_s for r in res.records] == [
+                r.finish_s for r in ref.records
+            ]
+            assert cell_stats(res) == cell_stats(ref)
+
+
+def test_jobserver_rows_match_committed_goldens(report):
+    """Same seed, same rows, bit-exactly — the committed BENCH file is the
+    regression baseline for the whole multi-tenant stack."""
+    golden = json.loads(GOLDEN_PATH.read_text())
+    assert golden["rows"]
+    assert golden["digest"] == report.digest()
+    current = {(r["transport"], r["scheduler"]): r
+               for r in (c.as_row() for c in report.cells)}
+    for row in golden["rows"]:
+        assert current[(row["transport"], row["scheduler"])] == row
+
+
+def test_jobserver_bench_json(report):
+    path = write_bench_json("jobserver", report.payload())
+    payload = json.loads(path.read_text())
+    assert payload["rows"] and all(r["p99_jct_s"] > 0 for r in payload["rows"])
+    assert payload["digest"] == report.digest()

@@ -104,6 +104,41 @@ def run_hibench_cell(spec: tuple) -> Any:
     return HiBenchCell(workload_name, system.name, transport, res.total_seconds)
 
 
+def run_jobserver_cell(spec: tuple) -> Any:
+    """Worker: one job-server contention cell from a primitive spec.
+
+    ``spec`` is ``(transport, scheduler_name, system_name, n_workers,
+    cores_per_executor, cluster_seed, trace_spec)`` with ``trace_spec`` =
+    ``(seed, n_jobs, mean_interarrival_s, min_bytes, max_bytes,
+    parallelism_choices, fidelity)`` — primitives only, so cells pickle
+    under any start method. Returns a
+    :class:`~repro.jobserver.server.JobServerResult`.
+    """
+    transport, sched_name, system_name, n_workers, cores, cluster_seed, ts = spec
+    seed, n_jobs, mean_ia, min_bytes, max_bytes, par_choices, fidelity = ts
+    from repro.harness.systems import SYSTEMS
+    from repro.jobserver import SCHEDULERS, poisson_trace, run_trace
+    from repro.spark.deploy import SparkSimCluster
+
+    trace = poisson_trace(
+        seed=seed,
+        n_jobs=n_jobs,
+        mean_interarrival_s=mean_ia,
+        min_bytes=min_bytes,
+        max_bytes=max_bytes,
+        parallelism_choices=tuple(par_choices),
+        fidelity=fidelity,
+    )
+    sim = SparkSimCluster(
+        SYSTEMS[system_name],
+        n_workers,
+        transport,
+        cores_per_executor=cores,
+        seed=cluster_seed,
+    )
+    return run_trace(sim, SCHEDULERS.create(sched_name), trace)
+
+
 def run_ohb_cells(specs: Iterable[tuple], jobs: int | None = None) -> list[Any]:
     """Run OHB cell specs, preserving spec order in the result list."""
     return parallel_map(run_ohb_cell, list(specs), jobs)
@@ -112,3 +147,8 @@ def run_ohb_cells(specs: Iterable[tuple], jobs: int | None = None) -> list[Any]:
 def run_hibench_cells(specs: Iterable[tuple], jobs: int | None = None) -> list[Any]:
     """Run HiBench cell specs, preserving spec order in the result list."""
     return parallel_map(run_hibench_cell, list(specs), jobs)
+
+
+def run_jobserver_cells(specs: Iterable[tuple], jobs: int | None = None) -> list[Any]:
+    """Run job-server cell specs, preserving spec order in the result list."""
+    return parallel_map(run_jobserver_cell, list(specs), jobs)

@@ -1,0 +1,69 @@
+"""Multi-tenant job server: continuous arrivals over a long-lived cluster.
+
+The contention-study layer on top of :mod:`repro.spark.deploy` (DESIGN.md
+§13): seeded arrival traces (:mod:`~repro.jobserver.arrivals`), pluggable
+inter-job schedulers (:mod:`~repro.jobserver.schedulers`), the server
+itself (:mod:`~repro.jobserver.server`), a Gym-style decision-point env
+(:mod:`~repro.jobserver.env`) and the JCT/queueing-delay report layer
+(:mod:`~repro.jobserver.report`).
+"""
+
+from repro.jobserver.arrivals import (
+    DEFAULT_MIX,
+    ArrivalTrace,
+    JobRequest,
+    poisson_trace,
+    trace_from_rows,
+)
+from repro.jobserver.env import JobServerEnv
+from repro.jobserver.report import CellStats, JobServerReport, cell_stats
+from repro.jobserver.schedulers import (
+    SCHEDULERS,
+    Admission,
+    ClusterView,
+    FairShareScheduler,
+    FifoScheduler,
+    InterJobScheduler,
+    PackingScheduler,
+    PendingJob,
+    RunningJob,
+    SchedulePlan,
+    maxmin_allocation,
+    scheduler_from_conf,
+)
+from repro.jobserver.server import (
+    JobRecord,
+    JobServer,
+    JobServerResult,
+    build_job_profile,
+    run_trace,
+)
+
+__all__ = [
+    "DEFAULT_MIX",
+    "ArrivalTrace",
+    "JobRequest",
+    "poisson_trace",
+    "trace_from_rows",
+    "JobServerEnv",
+    "CellStats",
+    "JobServerReport",
+    "cell_stats",
+    "SCHEDULERS",
+    "Admission",
+    "ClusterView",
+    "FairShareScheduler",
+    "FifoScheduler",
+    "InterJobScheduler",
+    "PackingScheduler",
+    "PendingJob",
+    "RunningJob",
+    "SchedulePlan",
+    "maxmin_allocation",
+    "scheduler_from_conf",
+    "JobRecord",
+    "JobServer",
+    "JobServerResult",
+    "build_job_profile",
+    "run_trace",
+]

@@ -1,0 +1,104 @@
+"""Gym-style environment over the job server's scheduling decision points.
+
+Swappable policies need more than the :class:`InterJobScheduler` callback
+interface: an RL-style loop (and anything scriptable from outside the
+simulator) wants to *observe* queue/cluster state, *act*, and watch the
+consequences. :class:`JobServerEnv` provides exactly the classic
+``reset`` / ``observe`` / ``step`` surface:
+
+* ``reset()`` starts the server and advances the simulation to the first
+  decision point, returning the :class:`ClusterView` observation;
+* ``step(plan)`` applies a :class:`SchedulePlan` action, advances to the
+  next decision point (job arrival or completion), and returns
+  ``(observation, reward, done, info)``. The reward is the negative sum
+  of JCTs of jobs that finished during the step, so maximizing return
+  minimizes mean job completion time;
+* ``observe()`` re-reads the current view without advancing time.
+
+Decision points that coincide (an arrival landing while a completion's
+decision is still unserved) coalesce into one observation, exactly as a
+real scheduler loop coalesces wakeups. Built-in schedulers plug straight
+in as policies: ``env.step(FifoScheduler().plan(obs))``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.jobserver.schedulers import ClusterView, SchedulePlan
+from repro.jobserver.server import JobServer, JobServerResult
+
+
+class JobServerEnv:
+    """Drive a :class:`JobServer` one scheduling decision at a time."""
+
+    def __init__(self, server: JobServer) -> None:
+        self.server = server
+        self._env = server.cluster.env
+        self._pending_view: ClusterView | None = None
+        self._decision_ev = None
+        self._rewarded = 0  # finished-job count already paid out
+        self._done = False
+        server._decision_hook = self._on_decision
+
+    # -- server-side hook ----------------------------------------------------
+    def _on_decision(self, view: ClusterView) -> None:
+        self._pending_view = view
+        if self._decision_ev is not None and not self._decision_ev.triggered:
+            self._decision_ev.succeed()
+
+    def _advance(self) -> None:
+        """Run the simulation until a decision point or trace completion."""
+        if self._done:
+            return
+        if self._pending_view is not None:
+            return  # a coalesced decision is already waiting
+        self._decision_ev = self._env.event()
+        self._env.run(until=self._env.any_of([self._decision_ev, self.server._all_done]))
+        if self.server._all_done.triggered and self._pending_view is None:
+            self._done = True
+
+    # -- the Gym-ish surface -------------------------------------------------
+    def reset(self) -> ClusterView:
+        """Start the trace; advance to the first decision point."""
+        self.server.start()
+        if len(self.server.trace) == 0:
+            self._done = True
+            if not self.server._all_done.triggered:
+                self.server._all_done.succeed()
+            return self.observe()
+        self._advance()
+        return self.observe()
+
+    def observe(self) -> ClusterView:
+        """The current scheduler-facing view (no time passes)."""
+        view = self._pending_view
+        return view if view is not None else self.server.view()
+
+    def step(self, action: SchedulePlan) -> tuple[ClusterView, float, bool, dict]:
+        """Apply ``action``, advance to the next decision point.
+
+        Returns ``(observation, reward, done, info)``; once ``done`` the
+        full :class:`JobServerResult` is in ``info["result"]``.
+        """
+        if self._done:
+            raise RuntimeError("step() after the trace completed — reset first")
+        self._pending_view = None
+        self.server.apply_plan(action)
+        self._advance()
+        finished = [
+            r for r in self.server.records.values() if r.finish_s is not None
+        ]
+        newly = len(finished) - self._rewarded
+        self._rewarded = len(finished)
+        reward = -sum(
+            r.jct_s
+            for r in sorted(finished, key=lambda r: r.finish_s)[self._rewarded - newly:]
+        )
+        info: dict[str, Any] = {"n_finished": len(finished)}
+        if self._done:
+            info["result"] = self.result()
+        return self.observe(), reward, self._done, info
+
+    def result(self) -> JobServerResult:
+        return self.server.result()

@@ -19,7 +19,11 @@ longest dependency chain into six segments:
   elsewhere — the per-transport classification the paper's Fig 9
   argument rests on,
 * ``fetch-wait`` — the remainder of the task's measured fetch wait not
-  covered by the extracted chain (windowed fetches that overlapped it).
+  covered by the extracted chain (windowed fetches that overlapped it),
+* ``sched-wait`` — inter-job queueing delay on the multi-tenant job
+  server (``job.submit`` → ``job.start``), reported as one pseudo-stage
+  per application so queueing is a first-class critical-path citizen.
+  Single-application runs emit no ``job.*`` events and never see it.
 
 The API is assertion-friendly: ``report.share("poll-tax")`` is what the
 fig9 benchmark compares across Basic and Optimized (≥10× is asserted in
@@ -34,7 +38,10 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:  # pragma: no cover
     from repro.obs.flightrec import FlightRecorder
 
-SEGMENTS = ("compute", "serialize", "queue", "wire", "poll-tax", "fetch-wait")
+SEGMENTS = (
+    "compute", "serialize", "queue", "wire", "poll-tax", "fetch-wait",
+    "sched-wait",
+)
 
 
 @dataclass
@@ -124,6 +131,8 @@ def analyze(flight: "FlightRecorder", transport: str) -> CriticalPathReport:
     task_finish: dict[int, object] = {}
 
     body_legs: set[int] = set()
+    job_submit: dict[str, float] = {}
+    job_start: dict[str, float] = {}
 
     for ev in flight.events:
         name = ev.name
@@ -143,6 +152,10 @@ def analyze(flight: "FlightRecorder", transport: str) -> CriticalPathReport:
             task_start[ev.trace] = ev
         elif name == "task.finish":
             task_finish[ev.trace] = ev
+        elif name == "job.submit":
+            job_submit[ev.attrs.get("app", "")] = ev.t
+        elif name == "job.start":
+            job_start[ev.attrs.get("app", "")] = ev.t
 
     # Group finished tasks by stage, preserving first-seen stage order.
     stages: dict[str, list[tuple[int, object, object]]] = {}
@@ -212,6 +225,23 @@ def analyze(flight: "FlightRecorder", transport: str) -> CriticalPathReport:
                 start_s=start.t,
                 end_s=fin.t,
                 segments=segments,
+            )
+        )
+    # Multi-tenant runs: queueing delay (job.submit → job.start) becomes a
+    # pseudo-stage per application, ordered by submission time. Absent from
+    # single-application flight logs, which carry no job.* events.
+    for app in sorted(job_submit, key=lambda a: (job_submit[a], a)):
+        started = job_start.get(app)
+        if started is None or started <= job_submit[app]:
+            continue
+        wait = started - job_submit[app]
+        report.stages.append(
+            StageCriticalPath(
+                stage=f"{app}:sched-wait",
+                task="",
+                start_s=job_submit[app],
+                end_s=started,
+                segments={"sched-wait": wait},
             )
         )
     return report

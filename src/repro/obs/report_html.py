@@ -35,6 +35,7 @@ _SEGMENT_COLORS = {
     "wire": "#54a24b",
     "poll-tax": "#e45756",
     "fetch-wait": "#b279a2",
+    "sched-wait": "#ff9da6",
 }
 
 _CSS = """

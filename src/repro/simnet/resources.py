@@ -3,6 +3,9 @@
 * :class:`Store` — an unbounded (or bounded) FIFO queue of items; the
   building block for mailboxes, sockets and MPI matching queues.
 * :class:`Resource` — capacity-limited slots (CPU cores, NIC serialization).
+* :class:`SlotGate` — a counting semaphore whose capacity can be raised or
+  lowered while held (per-application task-concurrency caps under the
+  multi-tenant job server's fair-share scheduler).
 """
 
 from __future__ import annotations
@@ -210,3 +213,65 @@ class Resource:
         req = self.request()
         yield req
         return req
+
+
+class SlotGate:
+    """A counting semaphore with an *adjustable* capacity.
+
+    Unlike :class:`Resource`, the capacity is a soft cap that a scheduler
+    may raise (waking queued requesters) or lower (taking effect as holders
+    release — in-flight work is never preempted) while the gate is in use.
+    ``capacity=0`` is legal and simply parks every requester.
+
+    This is the enforcement point for per-application task-concurrency
+    grants in the multi-tenant job server: an application's tasks each hold
+    one gate slot for their whole lifetime, so the number of its in-flight
+    tasks tracks the scheduler's current grant.
+    """
+
+    def __init__(self, env: SimEngine, capacity: int = 0) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.held = 0
+        self.queue: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return self.held
+
+    @property
+    def waiting(self) -> int:
+        return len(self.queue)
+
+    def request(self) -> Event:
+        """Claim one slot; the event triggers once the cap admits it."""
+        ev = Event(self.env)
+        if self.held < self.capacity:
+            self.held += 1
+            ev.succeed()
+        else:
+            self.queue.append(ev)
+        return ev
+
+    def release(self) -> None:
+        """Return one slot, admitting the longest-waiting requester."""
+        if self.held <= 0:
+            raise SimError("release() on a SlotGate with no held slots")
+        self.held -= 1
+        self._admit()
+
+    def set_capacity(self, capacity: int) -> None:
+        """Re-cap the gate. Raising wakes waiters; lowering never preempts."""
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._admit()
+
+    def _admit(self) -> None:
+        while self.queue and self.held < self.capacity:
+            ev = self.queue.popleft()
+            if ev.triggered:  # a cancelled/failed waiter
+                continue
+            self.held += 1
+            ev.succeed()

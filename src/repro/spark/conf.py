@@ -34,6 +34,11 @@ _DEFAULTS: dict[str, Any] = {
     "spark.repro.obs.enabled": "false",
     "spark.repro.obs.trace": "false",
     "spark.repro.obs.causal": "false",
+    # Multi-tenant job server (repro.jobserver): inter-job scheduler
+    # (fifo | fair | pack), arrival-trace shape, per-job profile fidelity.
+    "spark.repro.jobserver.scheduler": "fifo",
+    "spark.repro.jobserver.meanInterarrival": "4.0",
+    "spark.repro.jobserver.fidelity": "0.5",
     # Paper Sec. VII-C memory settings
     "spark.worker.memory": "120g",
     "spark.daemon.memory": "6g",

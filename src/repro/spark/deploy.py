@@ -89,9 +89,12 @@ _FETCHABLE_ERRORS = (
 class ShuffleOpenBlocksHandler(RpcHandler):
     """Server side of OneForOneBlockFetcher's OpenBlocks RPC.
 
-    Request: ``("open_blocks", nbytes, n_blocks)``. Registers a stream
-    whose chunks split the requested bytes into ≤ TARGET_REQUEST_BYTES
-    pieces; replies ``(stream_id, [chunk sizes], [chunk block counts])``.
+    Request: ``("open_blocks", nbytes, n_blocks)`` — multi-tenant clients
+    append their application namespace as a fourth element, which scopes
+    the registered stream to that app (swept on app completion). Registers
+    a stream whose chunks split the requested bytes into
+    ≤ TARGET_REQUEST_BYTES pieces; replies ``(stream_id, [chunk sizes],
+    [chunk block counts])``.
     """
 
     def __init__(self, streams: OneForOneStreamManager) -> None:
@@ -99,7 +102,8 @@ class ShuffleOpenBlocksHandler(RpcHandler):
         self.opens_served = 0
 
     def receive(self, client_channel, payload, reply):
-        kind, nbytes, n_blocks = payload
+        kind, nbytes, n_blocks = payload[:3]
+        owner = payload[3] if len(payload) > 3 else None
         if kind != "open_blocks":
             raise ValueError(f"unexpected rpc {kind!r}")
         self.opens_served += 1
@@ -119,7 +123,7 @@ class ShuffleOpenBlocksHandler(RpcHandler):
         def provider(chunk_index: int, num_blocks: int) -> tuple[Any, int]:
             return None, wire_sizes[chunk_index]
 
-        stream_id = self.streams.register_stream(provider)
+        stream_id = self.streams.register_stream(provider, owner=owner)
         reply((stream_id, wire_sizes, blocks), 64)
 
 
@@ -127,6 +131,52 @@ def _split_blocks(n_blocks: int, n_chunks: int) -> list[int]:
     base = n_blocks // n_chunks
     rem = n_blocks % n_chunks
     return [base + (1 if i < rem else 0) for i in range(n_chunks)]
+
+
+class _TaskMetrics:
+    """One namespace's task/shuffle-read counters (Spark's task metrics).
+
+    The default (anonymous) namespace keeps the historical
+    ``spark.scheduler.*`` names so single-application runs publish exactly
+    the metric census the committed figure goldens pin; each job-server
+    application gets its own ``spark.app.<ns>.scheduler.*`` bundle.
+    """
+
+    __slots__ = (
+        "tasks", "compute", "write", "fetch_wait", "combine",
+        "remote_bytes", "local_bytes", "h_fetch_wait",
+    )
+
+    def __init__(self, m, prefix: str) -> None:
+        self.tasks = m.counter(f"{prefix}.tasks_finished")
+        self.compute = m.counter(f"{prefix}.compute_s")
+        self.write = m.counter(f"{prefix}.write_s")
+        self.fetch_wait = m.counter(f"{prefix}.fetch_wait_s")
+        self.combine = m.counter(f"{prefix}.combine_s")
+        self.remote_bytes = m.counter(f"{prefix}.remote_fetch_bytes")
+        self.local_bytes = m.counter(f"{prefix}.local_read_bytes")
+        self.h_fetch_wait = m.histogram(f"{prefix}.task_fetch_wait_s")
+
+
+@dataclass
+class AppHandle:
+    """Per-application execution context on a multi-tenant cluster.
+
+    Everything that :mod:`repro.spark.deploy` historically kept global to
+    the (single) driver becomes per-application through this handle: the
+    RNG namespace (``seed`` is derived from ``(cluster seed, app id)``, so
+    an app's stochastic choices are identical however many neighbours it
+    shares the cluster with), the metrics namespace, the inter-job
+    scheduler's concurrency grant (``gate``), and the executor subset the
+    app may run tasks on.
+    """
+
+    app_id: int
+    name: str
+    seed: int
+    namespace: str  # metrics/stream namespace, e.g. "app3"
+    gate: "Any | None" = None  # SlotGate enforcing the current slot grant
+    executor_ids: tuple[int, ...] | None = None  # None = whole cluster
 
 
 class SimExecutor:
@@ -174,16 +224,9 @@ class SimExecutor:
         self.alive = True
         # Cluster-wide scheduler metrics (get-or-create: all executors
         # aggregate into the same counters), mirroring Spark's
-        # shuffle-read/task metrics.
-        m = sim.env.metrics
-        self._c_tasks = m.counter("spark.scheduler.tasks_finished")
-        self._c_compute = m.counter("spark.scheduler.compute_s")
-        self._c_write = m.counter("spark.scheduler.write_s")
-        self._c_fetch_wait = m.counter("spark.scheduler.fetch_wait_s")
-        self._c_combine = m.counter("spark.scheduler.combine_s")
-        self._c_remote_bytes = m.counter("spark.scheduler.remote_fetch_bytes")
-        self._c_local_bytes = m.counter("spark.scheduler.local_read_bytes")
-        self._h_fetch_wait = m.histogram("spark.scheduler.task_fetch_wait_s")
+        # shuffle-read/task metrics. Job-server applications publish into
+        # their own ``spark.app.<ns>.scheduler.*`` bundles instead.
+        self._tm = sim.task_metrics(None)
 
     @property
     def address(self) -> SocketAddress:
@@ -205,16 +248,30 @@ class SimExecutor:
             yield from self.sim.transport.establish(client.channel, self.endpoint)
         return client
 
+    def _metrics_for(self, app: AppHandle | None) -> _TaskMetrics:
+        return self._tm if app is None else self.sim.task_metrics(app.namespace)
+
     def fetch_shuffle(
-        self, sources: list[tuple["SimExecutor", int, int]], trace_parent=None
+        self,
+        sources: list[tuple["SimExecutor", int, int]],
+        trace_parent=None,
+        app: AppHandle | None = None,
+        rot: int | None = None,
     ) -> Generator:
         """Fetch ``(src, nbytes, n_blocks)`` from each source, windowed.
 
         Implements ShuffleBlockFetcherIterator's in-flight byte window:
         chunk requests are issued while the outstanding total stays under
         ``MAX_BYTES_IN_FLIGHT``; completions release window space.
+
+        ``rot`` pins the fetch-request rotation explicitly (multi-tenant
+        runs derive it from the application's RNG namespace so one job's
+        fetch order never depends on how its neighbours interleave); the
+        default keeps the historical per-executor sequence.
         """
         env = self.sim.env
+        tm = self._metrics_for(app)
+        owner = None if app is None else app.namespace
         if self.endpoint is not None and self.endpoint.proc.world.aborted:
             # The executor's MPI library is gone (MPI_ERRORS_ARE_FATAL):
             # no retry can help — fail the job, not the fetch.
@@ -226,8 +283,13 @@ class SimExecutor:
                 continue
             try:
                 client = yield from self._get_client(src)
+                open_req = (
+                    ("open_blocks", nbytes, n_blocks)
+                    if owner is None
+                    else ("open_blocks", nbytes, n_blocks, owner)
+                )
                 reply = yield client.send_rpc(
-                    ("open_blocks", nbytes, n_blocks), 64, trace_parent=trace_parent
+                    open_req, 64, trace_parent=trace_parent
                 )
             except WorldAbortedError:
                 raise
@@ -247,8 +309,9 @@ class SimExecutor:
         # Interleave requests across sources, rotated per call — Spark
         # randomizes fetch-request order (ShuffleBlockFetcherIterator) so
         # synchronized reducers don't all hammer the same server at once.
-        self._fetch_seq = getattr(self, "_fetch_seq", 0) + 1
-        rot = self._fetch_seq + self.exec_id
+        if rot is None:
+            self._fetch_seq = getattr(self, "_fetch_seq", 0) + 1
+            rot = self._fetch_seq + self.exec_id
         per_source = per_source[rot % len(per_source):] + per_source[: rot % len(per_source)] if per_source else []
         plan = [
             chunk
@@ -298,7 +361,7 @@ class SimExecutor:
                 size, blk, src = pending.pop(future)
                 in_flight -= size
                 self.bytes_fetched_remote += size
-                self._c_remote_bytes.inc(size)
+                tm.remote_bytes.inc(size)
                 if blk > 1:
                     yield env.timeout((blk - 1) * PER_BLOCK_CLIENT_S)
 
@@ -312,7 +375,13 @@ class SimExecutor:
         causal.event("task.start", ctx, task=label, exec=self.exec_id)
         return ctx
 
-    def run_compute_task(self, seconds: float, label: str = "compute") -> Generator:
+    def run_compute_task(
+        self, seconds: float, label: str = "compute", app: AppHandle | None = None
+    ) -> Generator:
+        tm = self._metrics_for(app)
+        gated = app is not None and app.gate is not None
+        if gated:
+            yield app.gate.request()
         req = self.slots.request()
         yield req
         try:
@@ -322,8 +391,8 @@ class SimExecutor:
             ):
                 compute = seconds * self.sim.transport.compute_inflation
                 yield self.sim.env.timeout(TASK_SCHED_DELAY_S + compute)
-                self._c_compute.inc(compute)
-                self._c_tasks.inc()
+                tm.compute.inc(compute)
+                tm.tasks.inc()
             if ctx is not None:
                 self.sim.env.causal.event(
                     "task.finish", ctx,
@@ -331,10 +400,20 @@ class SimExecutor:
                 )
         finally:
             self.slots.release(req)
+            if gated:
+                app.gate.release()
 
     def run_write_task(
-        self, seconds: float, write_bytes: float, label: str = "write"
+        self,
+        seconds: float,
+        write_bytes: float,
+        label: str = "write",
+        app: AppHandle | None = None,
     ) -> Generator:
+        tm = self._metrics_for(app)
+        gated = app is not None and app.gate is not None
+        if gated:
+            yield app.gate.request()
         req = self.slots.request()
         yield req
         try:
@@ -345,9 +424,9 @@ class SimExecutor:
                 compute = seconds * self.sim.transport.compute_inflation
                 write = write_bytes / RAMDISK_WRITE_BPS
                 yield self.sim.env.timeout(TASK_SCHED_DELAY_S + compute + write)
-                self._c_compute.inc(compute)
-                self._c_write.inc(write)
-                self._c_tasks.inc()
+                tm.compute.inc(compute)
+                tm.write.inc(write)
+                tm.tasks.inc()
             if ctx is not None:
                 self.sim.env.causal.event(
                     "task.finish", ctx,
@@ -356,6 +435,8 @@ class SimExecutor:
                 )
         finally:
             self.slots.release(req)
+            if gated:
+                app.gate.release()
 
     def run_read_task(
         self,
@@ -363,7 +444,27 @@ class SimExecutor:
         blocks: np.ndarray,
         combine_seconds: float,
         label: str = "read",
+        app: AppHandle | None = None,
+        peers: "list[SimExecutor] | None" = None,
+        col: int | None = None,
+        rot: int | None = None,
     ) -> Generator:
+        """One reduce task: local read + windowed remote fetch + combine.
+
+        ``peers``/``col`` define the shuffle geometry: ``fetch_bytes[i]``
+        is the traffic sourced from ``peers[i]``, and column ``col`` is
+        this task's local read. The defaults (whole cluster, own exec id)
+        are the single-application geometry; a packed multi-tenant app
+        passes its granted executor subset instead.
+        """
+        if peers is None:
+            peers = self.sim.executors
+        if col is None:
+            col = self.exec_id
+        tm = self._metrics_for(app)
+        gated = app is not None and app.gate is not None
+        if gated:
+            yield app.gate.request()
         req = self.slots.request()
         yield req
         try:
@@ -376,25 +477,27 @@ class SimExecutor:
                 # everything between scheduling and the first combine byte.
                 t_fetch = self.sim.env.now
                 # Local blocks: straight off the RAM disk.
-                local = float(fetch_bytes[self.exec_id])
+                local = float(fetch_bytes[col])
                 if local > 0:
                     self.bytes_read_local += int(local)
-                    self._c_local_bytes.inc(local)
+                    tm.local_bytes.inc(local)
                     yield self.sim.env.timeout(local / RAMDISK_READ_BPS)
                 # Remote blocks: through the transport under test.
                 sources = [
-                    (src, int(fetch_bytes[src.exec_id]), int(blocks[src.exec_id]))
-                    for src in self.sim.executors
-                    if src.exec_id != self.exec_id and fetch_bytes[src.exec_id] > 0
+                    (src, int(fetch_bytes[i]), int(blocks[i]))
+                    for i, src in enumerate(peers)
+                    if i != col and fetch_bytes[i] > 0
                 ]
-                yield from self.fetch_shuffle(sources, trace_parent=ctx)
+                yield from self.fetch_shuffle(
+                    sources, trace_parent=ctx, app=app, rot=rot
+                )
                 fetch_wait = self.sim.env.now - t_fetch
-                self._c_fetch_wait.inc(fetch_wait)
-                self._h_fetch_wait.observe(fetch_wait)
+                tm.fetch_wait.inc(fetch_wait)
+                tm.h_fetch_wait.observe(fetch_wait)
                 combine = combine_seconds * self.sim.transport.compute_inflation
                 yield self.sim.env.timeout(combine)
-                self._c_combine.inc(combine)
-                self._c_tasks.inc()
+                tm.combine.inc(combine)
+                tm.tasks.inc()
                 span.annotate(fetch_wait_s=fetch_wait, combine_s=combine)
             if ctx is not None:
                 self.sim.env.causal.event(
@@ -404,6 +507,8 @@ class SimExecutor:
                 )
         finally:
             self.slots.release(req)
+            if gated:
+                app.gate.release()
 
 
 @dataclass
@@ -489,6 +594,11 @@ class SparkSimCluster:
         self.executors: list[SimExecutor] = []
         self.launch_seconds = 0.0
         self._launched = False
+        self._shutdown = False
+        # Multi-tenant state: registered applications and their metric
+        # bundles (the anonymous bundle keeps the legacy names).
+        self.apps: dict[int, AppHandle] = {}
+        self._task_metric_bundles: dict[str | None, _TaskMetrics] = {}
         # Attribute cache traffic to this cluster: the estimate_size shape
         # memo and the sample-trace cache keep process-global tallies, so
         # snapshot hooks publish deltas since cluster construction under
@@ -610,6 +720,111 @@ class SparkSimCluster:
         for i, proc in enumerate(procs):
             self.executors.append(SimExecutor(self, i, i, MpiEndpoint(proc)))
 
+    # -- multi-tenant surface -----------------------------------------------------
+    def task_metrics(self, namespace: str | None) -> _TaskMetrics:
+        """The task-metric bundle for one app namespace (None = legacy)."""
+        bundle = self._task_metric_bundles.get(namespace)
+        if bundle is None:
+            prefix = (
+                "spark.scheduler"
+                if namespace is None
+                else f"spark.app.{namespace}.scheduler"
+            )
+            bundle = _TaskMetrics(self.env.metrics, prefix)
+            self._task_metric_bundles[namespace] = bundle
+        return bundle
+
+    @property
+    def total_task_slots(self) -> int:
+        """Sum of effective (post-polling-tax) task slots across executors."""
+        if not self._launched:
+            self.launch()
+        return sum(ex.slots.capacity for ex in self.executors)
+
+    def register_app(
+        self,
+        app_id: int,
+        name: str | None = None,
+        gate: Any | None = None,
+        executor_ids: tuple[int, ...] | None = None,
+    ) -> AppHandle:
+        """Admit an application namespace onto this cluster.
+
+        The handle's seed is derived from ``(cluster seed, app id)`` —
+        nothing else — so every per-app stochastic stream replays
+        identically regardless of which other applications share the
+        cluster or how their events interleave.
+        """
+        from repro.util.rng import derive_seed
+
+        if app_id in self.apps:
+            raise ValueError(f"app id {app_id} already registered")
+        app = AppHandle(
+            app_id=app_id,
+            name=name or f"app{app_id}",
+            seed=derive_seed(self.seed, "app", app_id),
+            namespace=f"app{app_id}",
+            gate=gate,
+            executor_ids=executor_ids,
+        )
+        self.apps[app_id] = app
+        return app
+
+    def app_executors(self, app: AppHandle | None) -> list[SimExecutor]:
+        if app is None or app.executor_ids is None:
+            return self.executors
+        return [self.executors[i] for i in app.executor_ids]
+
+    def release_app(self, app: AppHandle) -> None:
+        """Sweep an application's executor-side shuffle state (streams)."""
+        for ex in self.executors:
+            ex.streams.release_owner(app.namespace)
+        self.apps.pop(app.app_id, None)
+
+    def run_application(
+        self, profile: WorkloadProfile, app: AppHandle
+    ) -> Generator:
+        """Run ``profile`` as one tenant application (a simulation process).
+
+        Unlike :meth:`run_profile` — which *drives* the engine and
+        therefore owns the whole cluster — this is a generator to be
+        wrapped in ``env.process``: many applications can execute
+        concurrently, contending for executor slots under their
+        ``AppHandle`` grants. Returns the app's ``{stage label: seconds}``
+        dict; stream state is swept on exit (normal or aborted).
+        """
+        if self._shutdown:
+            raise RuntimeError("cluster is shut down")
+        if not self._launched:
+            raise RuntimeError("launch() the cluster before running applications")
+        n_exec = len(self.app_executors(app))
+        if profile.n_executors != n_exec:
+            raise ValueError(
+                f"profile built for {profile.n_executors} executors, "
+                f"app {app.app_id} granted {n_exec}"
+            )
+        env = self.env
+        causal = env.causal
+        stage_seconds: dict[str, float] = {}
+        try:
+            for stage in profile.stages:
+                t0 = env.now
+                causal.event(
+                    "stage.start", None,
+                    stage=f"{app.name}:{stage.label}", n_tasks=stage.n_tasks,
+                )
+                tasks = self._spawn_stage_tasks(stage, app=app)
+                yield env.all_of(tasks)
+                stage_seconds[stage.label] = env.now - t0
+                causal.event(
+                    "stage.finish", None,
+                    stage=f"{app.name}:{stage.label}",
+                    seconds=stage_seconds[stage.label],
+                )
+        finally:
+            self.release_app(app)
+        return stage_seconds
+
     # -- profile execution -------------------------------------------------------
     def run_profile(self, profile: WorkloadProfile) -> RunResult:
         if not self._launched:
@@ -648,37 +863,71 @@ class SparkSimCluster:
             result.flight = causal.flight
         return result
 
-    def _spawn_stage_tasks(self, stage) -> list:
+    def _spawn_stage_tasks(self, stage, app: AppHandle | None = None) -> list:
+        from repro.util.rng import derive_seed
+
         procs = []
-        n_exec = len(self.executors)
+        executors = self.app_executors(app)
+        n_exec = len(executors)
+        prefix = "" if app is None else f"{app.name}:"
         for t in range(stage.n_tasks):
-            ex = self.executors[t % n_exec]
-            task_label = f"{stage.label}-task{t}"
+            ex = executors[t % n_exec]
+            task_label = f"{prefix}{stage.label}-task{t}"
             if isinstance(stage, ComputeStage):
                 gen = ex.run_compute_task(
-                    float(stage.seconds_per_task[t]), label=task_label
+                    float(stage.seconds_per_task[t]), label=task_label, app=app
                 )
             elif isinstance(stage, ShuffleWriteStage):
                 gen = ex.run_write_task(
                     float(stage.seconds_per_task[t]),
                     float(stage.write_bytes_per_task[t]),
                     label=task_label,
+                    app=app,
                 )
             elif isinstance(stage, ShuffleReadStage):
+                # Per-app fetch rotation: a pure function of (app seed,
+                # stage, task), never of a shared mutable counter — one
+                # tenant's fetch order is interleaving-independent.
+                rot = (
+                    None
+                    if app is None
+                    else derive_seed(app.seed, "fetch", stage.label, t) % 65536
+                )
                 gen = ex.run_read_task(
                     stage.fetch_bytes[t],
                     stage.blocks[t],
                     float(stage.combine_seconds_per_task[t]),
                     label=task_label,
+                    app=app,
+                    peers=executors,
+                    col=t % n_exec,
+                    rot=rot,
                 )
             else:
                 raise TypeError(f"unknown stage type {type(stage)}")
-            procs.append(self.env.process(gen, name=f"{stage.label}-task{t}"))
+            procs.append(self.env.process(gen, name=task_label))
         return procs
 
     def shutdown(self) -> None:
+        """Tear the cluster down; idempotent and safe mid-application.
+
+        Applications still in flight are abandoned where they stand (the
+        engine simply stops being driven); their executor-side stream
+        state is invalidated and any open causal spans are tombstoned, so
+        no flight recording ends with a dangling send. A second call is a
+        no-op.
+        """
+        if self._shutdown:
+            return
+        self._shutdown = True
         for ex in self.executors:
             ex.stop()
+        if self.apps:
+            # In-flight tenants: their future fetches must fail fast, not
+            # hang on streams nobody will serve.
+            for ex in self.executors:
+                ex.streams.invalidate_all("cluster shutdown")
+            self.apps.clear()
         # Final causal sweep: spans still open here were sent to endpoints
         # that died without a channel teardown (or were in flight when an
         # abort unwound the run) — tombstone them so no trace ends with a

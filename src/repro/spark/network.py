@@ -137,16 +137,26 @@ class OneForOneStreamManager:
 
     def __init__(self) -> None:
         self._streams: dict[int, Callable[[int, int], tuple[Any, int]]] = {}
+        self._owners: dict[int, Any] = {}  # stream_id -> owning application
         self._ids = itertools.count(1000)
         self.chunks_served = 0
         self._invalid_reason: str | None = None
 
     def register_stream(
-        self, chunk_provider: Callable[[int, int], tuple[Any, int]]
+        self,
+        chunk_provider: Callable[[int, int], tuple[Any, int]],
+        owner: Any = None,
     ) -> int:
-        """``chunk_provider(chunk_index, num_blocks) -> (payload, nbytes)``."""
+        """``chunk_provider(chunk_index, num_blocks) -> (payload, nbytes)``.
+
+        ``owner`` namespaces the stream to one application (multi-tenant
+        job server); :meth:`release_owner` sweeps all of an app's streams
+        when it finishes or is aborted.
+        """
         stream_id = next(self._ids)
         self._streams[stream_id] = chunk_provider
+        if owner is not None:
+            self._owners[stream_id] = owner
         return stream_id
 
     def get_chunk(self, stream_id: int, chunk_index: int, num_blocks: int) -> tuple[Any, int]:
@@ -160,6 +170,20 @@ class OneForOneStreamManager:
 
     def release(self, stream_id: int) -> None:
         self._streams.pop(stream_id, None)
+        self._owners.pop(stream_id, None)
+
+    def release_owner(self, owner: Any) -> int:
+        """Drop every stream registered under ``owner``; returns the count.
+
+        The job server calls this when an application completes or is
+        aborted — the executor-side cleanup of that app's shuffle state
+        (Spark's ExternalShuffleService ``applicationRemoved``).
+        """
+        stale = [sid for sid, own in self._owners.items() if own == owner]
+        for sid in stale:
+            self._streams.pop(sid, None)
+            self._owners.pop(sid, None)
+        return len(stale)
 
     def invalidate_all(self, reason: str) -> None:
         """Drop every registered stream (lost map output / shuffle files).
@@ -168,6 +192,7 @@ class OneForOneStreamManager:
         missing-blocks path of the server-side handler.
         """
         self._streams.clear()
+        self._owners.clear()
         self._invalid_reason = reason
 
 

@@ -1,0 +1,203 @@
+"""Property-style invariants for the inter-job schedulers.
+
+Each test sweeps many seeded synthetic :class:`ClusterView`\\ s (no
+simulation involved — the scheduler interface is a pure function of the
+view) and asserts the policy's defining invariant: FIFO ordering,
+fair-share max-min, packing never oversubscribing an executor.
+"""
+
+from repro.jobserver import (
+    SCHEDULERS,
+    ClusterView,
+    FairShareScheduler,
+    FifoScheduler,
+    PackingScheduler,
+    PendingJob,
+    RunningJob,
+    maxmin_allocation,
+)
+from repro.util.rng import SeededRng
+
+
+def synthetic_view(rng: SeededRng, n_exec: int = 4, slots: int = 8) -> ClusterView:
+    """A random queue/running mix over an ``n_exec × slots`` cluster."""
+    execs = tuple((i, slots) for i in range(n_exec))
+    n_running = rng.randint(0, 3)
+    running = []
+    used_execs: set[int] = set()
+    free_pool = n_exec * slots
+    for r in range(n_running):
+        want = rng.randint(1, slots * 2)
+        if rng.random() < 0.5 and len(used_execs) < n_exec:
+            # a packed tenant holding whole executors
+            avail = [i for i in range(n_exec) if i not in used_execs]
+            take = tuple(sorted(rng.sample(avail, rng.randint(1, len(avail)))))
+            used_execs.update(take)
+            granted = len(take) * slots
+        else:
+            take = None
+            granted = rng.randint(1, max(1, min(want, free_pool)))
+        if granted > free_pool:
+            continue
+        free_pool -= granted
+        running.append(
+            RunningJob(app_id=100 + r, parallelism=want, granted=granted,
+                       executor_ids=take)
+        )
+    pending = tuple(
+        PendingJob(app_id=i, workload="GroupByTest", submit_s=float(i),
+                   parallelism=rng.randint(1, slots * n_exec + 4))
+        for i in range(rng.randint(0, 6))
+    )
+    return ClusterView(
+        now=10.0, executor_slots=execs, pending=pending, running=tuple(running)
+    )
+
+
+class TestMaxMinAllocation:
+    def test_properties_over_seeded_cases(self):
+        for seed in range(200):
+            rng = SeededRng(seed)
+            n = rng.randint(1, 8)
+            requests = [rng.randint(0, 20) for _ in range(n)]
+            capacity = rng.randint(0, 40)
+            alloc = maxmin_allocation(requests, capacity)
+            assert sum(alloc) <= capacity
+            assert all(0 <= a <= r for a, r in zip(alloc, requests))
+            # Work-conserving: leftover capacity only if all demand is met.
+            if sum(alloc) < capacity:
+                assert alloc == requests
+            # Max-min: an unsatisfied requester is within one slot (integer
+            # remainder) of every allocation — nobody got rich at its cost.
+            for i, (a, r) in enumerate(zip(alloc, requests)):
+                if a < r:
+                    assert all(a >= other - 1 for other in alloc)
+
+    def test_equal_split(self):
+        assert maxmin_allocation([10, 10, 10], 9) == [3, 3, 3]
+
+    def test_small_requests_release_capacity(self):
+        assert maxmin_allocation([2, 10, 10], 12) == [2, 5, 5]
+
+
+class TestFifoInvariants:
+    def test_admissions_are_a_queue_prefix(self):
+        sched = FifoScheduler()
+        for seed in range(150):
+            view = synthetic_view(SeededRng(seed))
+            plan = sched.plan(view)
+            assert not plan.recap  # FIFO never touches running jobs
+            admitted = [a.app_id for a in plan.admit]
+            assert admitted == [j.app_id for j in view.pending[: len(admitted)]]
+            assert sum(a.slots for a in plan.admit) <= view.free_slots
+
+    def test_head_of_line_blocks(self):
+        view = ClusterView(
+            now=0.0,
+            executor_slots=((0, 4),),
+            pending=(
+                PendingJob(0, "GroupByTest", 0.0, parallelism=4),
+                PendingJob(1, "GroupByTest", 0.1, parallelism=1),
+            ),
+            running=(RunningJob(app_id=9, parallelism=2, granted=2),),
+        )
+        plan = FifoScheduler().plan(view)
+        # Head wants 4, only 2 free: nothing starts — not even the 1-slot job.
+        assert plan.admit == ()
+
+
+class TestFairShareInvariants:
+    def test_maxmin_property_under_synthetic_arrivals(self):
+        sched = FairShareScheduler()
+        for seed in range(150):
+            view = synthetic_view(SeededRng(1000 + seed))
+            plan = sched.plan(view)
+            grants = {a.app_id: a.slots for a in plan.admit}
+            caps = dict(plan.recap)
+            final = {}
+            for r in view.running:
+                final[r.app_id] = caps.get(r.app_id, r.granted)
+            final.update(grants)
+            assert sum(final.values()) <= view.total_slots
+            assert all(g >= 1 for g in final.values())
+            # Max-min over requests: if a job is below its request, no other
+            # job may sit more than one slot above it.
+            requests = {j.app_id: j.parallelism for j in view.pending}
+            requests.update({r.app_id: r.parallelism for r in view.running})
+            for app_id, g in final.items():
+                if g < min(requests[app_id], view.total_slots):
+                    assert all(g >= other - 1 for other in final.values())
+
+    def test_share_shrinks_then_recovers(self):
+        execs = ((0, 4), (1, 4))
+        alone = FairShareScheduler().plan(
+            ClusterView(0.0, execs, (PendingJob(0, "GroupByTest", 0.0, 8),), ())
+        )
+        assert alone.admit[0].slots == 8
+        crowded = FairShareScheduler().plan(
+            ClusterView(
+                1.0, execs,
+                (PendingJob(1, "GroupByTest", 1.0, 8),),
+                (RunningJob(app_id=0, parallelism=8, granted=8),),
+            )
+        )
+        # The incumbent is squeezed to half, the newcomer gets the rest.
+        assert dict(crowded.recap) == {0: 4}
+        assert crowded.admit[0].slots == 4
+
+
+class TestPackingInvariants:
+    def test_never_oversubscribes_executors(self):
+        sched = PackingScheduler()
+        for seed in range(150):
+            view = synthetic_view(SeededRng(2000 + seed))
+            plan = sched.plan(view)
+            assert not plan.recap
+            free = {e for e, _ in view.free_executors()}
+            claimed: set[int] = set()
+            slots = dict(view.executor_slots)
+            for adm in plan.admit:
+                assert adm.executor_ids, "packing always grants a subset"
+                subset = set(adm.executor_ids)
+                assert subset <= free, "granted a reserved executor"
+                assert not subset & claimed, "two tenants share an executor"
+                claimed |= subset
+                granted = sum(slots[e] for e in subset)
+                assert adm.slots == granted
+                want = min(
+                    next(j.parallelism for j in view.pending
+                         if j.app_id == adm.app_id),
+                    view.total_slots,
+                )
+                assert granted >= want
+
+    def test_backfill_behind_blocked_head(self):
+        view = ClusterView(
+            now=0.0,
+            executor_slots=((0, 4), (1, 4)),
+            pending=(
+                PendingJob(0, "GroupByTest", 0.0, parallelism=8),
+                PendingJob(1, "GroupByTest", 0.1, parallelism=4),
+            ),
+            running=(
+                RunningJob(app_id=9, parallelism=4, granted=4,
+                           executor_ids=(0,)),
+            ),
+        )
+        plan = PackingScheduler().plan(view)
+        # Head wants 8 (impossible with one free executor); job 1 backfills.
+        assert [a.app_id for a in plan.admit] == [1]
+        assert plan.admit[0].executor_ids == (1,)
+
+
+class TestRegistry:
+    def test_known_names(self):
+        assert isinstance(SCHEDULERS.create("fifo"), FifoScheduler)
+        assert isinstance(SCHEDULERS.create("fair"), FairShareScheduler)
+        assert isinstance(SCHEDULERS.create("pack"), PackingScheduler)
+
+    def test_unknown_name(self):
+        import pytest
+
+        with pytest.raises(KeyError):
+            SCHEDULERS.create("srpt")

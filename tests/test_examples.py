@@ -14,6 +14,7 @@ FAST_EXAMPLES = [
     "mpi4spark_launch.py",
     "hibench_ml.py",
     "obs_trace.py",
+    "jobserver_demo.py",
 ]
 
 
