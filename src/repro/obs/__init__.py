@@ -27,7 +27,12 @@ from typing import TYPE_CHECKING
 from repro.obs.causal import NULL_CAUSAL, CausalTracer, NullCausal, TraceContext
 from repro.obs.critpath import CriticalPathReport, StageCriticalPath, analyze, critical_path
 from repro.obs.flightrec import FlightEvent, FlightRecorder
-from repro.obs.report_html import render_report, write_report
+from repro.obs.report_html import (
+    planner_section,
+    render_planner_page,
+    render_report,
+    write_report,
+)
 from repro.obs.registry import (
     Counter,
     Gauge,
@@ -37,6 +42,16 @@ from repro.obs.registry import (
     TimeWeightedGauge,
 )
 from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
+from repro.obs.whatif import (
+    DEFAULT_GRID,
+    IDENTITY,
+    Perturbation,
+    Prediction,
+    ReplayModel,
+    StageRecord,
+    TaskRecord,
+    load_model,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.util.config import Config
@@ -62,8 +77,18 @@ __all__ = [
     "StageCriticalPath",
     "analyze",
     "critical_path",
+    "planner_section",
+    "render_planner_page",
     "render_report",
     "write_report",
+    "Perturbation",
+    "Prediction",
+    "ReplayModel",
+    "StageRecord",
+    "TaskRecord",
+    "IDENTITY",
+    "DEFAULT_GRID",
+    "load_model",
     "obs_from_conf",
     "causal_from_conf",
     "polling_tax_seconds",

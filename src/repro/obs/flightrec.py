@@ -175,3 +175,39 @@ class FlightRecorder:
         rec = FlightRecorder()
         rec.events.extend(events)
         return rec
+
+    # -- import ---------------------------------------------------------------
+    @staticmethod
+    def from_jsonl(text: str) -> "FlightRecorder":
+        """Rebuild a recorder from :meth:`to_jsonl` output.
+
+        The inverse of the export flattening: ``t``/``ev`` and the three
+        span ids are lifted back onto the event, every remaining key
+        becomes an attr.  ``to_jsonl(from_jsonl(s)) == s`` for any
+        exported trace, and the rebuilt events compare equal field-for-
+        field — the round-trip the what-if replay engine relies on when
+        consuming traces recorded by another process.
+        """
+        events = []
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            d = json.loads(line)
+            events.append(
+                FlightEvent(
+                    t=d.pop("t"),
+                    name=d.pop("ev"),
+                    trace=d.pop("trace", 0),
+                    span=d.pop("span", 0),
+                    parent=d.pop("parent", 0),
+                    attrs=d or None,
+                )
+            )
+        return FlightRecorder.from_events(events)
+
+    @staticmethod
+    def load_jsonl(path: str) -> "FlightRecorder":
+        """Read a :meth:`write` / :meth:`to_jsonl` export back from disk."""
+        with open(path) as fh:
+            return FlightRecorder.from_jsonl(fh.read())

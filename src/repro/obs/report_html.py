@@ -22,6 +22,7 @@ from repro.obs.critpath import SEGMENTS, CriticalPathReport
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.obs.flightrec import FlightEvent, FlightRecorder
+    from repro.obs.whatif import Prediction, ReplayModel
     from repro.spark.deploy import RunResult
 
 # Keep pages small: the message timeline draws at most this many spans,
@@ -208,6 +209,151 @@ def _critpath_table(report: CriticalPathReport) -> str:
     )
 
 
+def _sensitivity_table(predictions: Sequence["Prediction"]) -> str:
+    """Capacity-planner ranking: top knobs by predicted speedup."""
+    if not predictions:
+        return "<p class='note'>no perturbations evaluated</p>"
+    head = (
+        "<tr><th class='l'>what if…</th><th class='l'>knobs</th>"
+        "<th>predicted wall</th><th>Δ wall</th><th>speedup</th></tr>"
+    )
+    base = predictions[0].baseline_s
+    max_gain = max((base - p.wall_s for p in predictions), default=0.0)
+    rows = []
+    for p in predictions:
+        gain = base - p.wall_s
+        bar_w = int(120 * gain / max_gain) if max_gain > 0 and gain > 0 else 0
+        bar = (
+            f"<svg width='124' height='12' style='background:none;border:none'>"
+            f"<rect x='0' y='1' width='{bar_w}' height='10' fill='#54a24b'/></svg>"
+            if bar_w
+            else ""
+        )
+        rows.append(
+            f"<tr><td class='l'>{_esc(p.perturbation.name)} {bar}</td>"
+            f"<td class='l'>{_esc(p.perturbation.describe())}</td>"
+            f"<td>{p.wall_s:.4f}s</td><td>{p.wall_s - base:+.4f}s</td>"
+            f"<td>{p.speedup:.3f}x</td></tr>"
+        )
+    return (
+        f"<p class='note'>recorded wall {base:.4f}s; rows ranked by "
+        f"predicted speedup (analytic replay, no re-simulation)</p>"
+        f"<table>{head}{''.join(rows)}</table>"
+    )
+
+
+def _pred_vs_sim_scatter(
+    rows: Sequence[dict], width: int = 460, tolerance: float = 0.10
+) -> str:
+    """Predicted-vs-simulated scatter with the y=x line and ±tol band.
+
+    ``rows`` are validation rows (``predicted_s`` / ``simulated_s`` plus
+    an optional ``label``), e.g. the cells of ``BENCH_whatif.json``.
+    """
+    pts = [
+        (r["simulated_s"], r["predicted_s"], r.get("label", ""))
+        for r in rows
+        if r.get("simulated_s") and r.get("predicted_s")
+    ]
+    if not pts:
+        return "<p class='note'>no validation rows</p>"
+    hi = max(max(x, y) for x, y, _ in pts) * 1.06
+    pad, h = 44, width
+    sx = (width - pad - 10) / hi
+    sy = (h - pad - 10) / hi
+
+    def X(v: float) -> float:
+        return pad + v * sx
+
+    def Y(v: float) -> float:
+        return h - pad - v * sy
+
+    parts = [
+        f"<svg width='{width}' height='{h}' xmlns='http://www.w3.org/2000/svg'>",
+        f"<line x1='{X(0):.1f}' y1='{Y(0):.1f}' x2='{X(hi):.1f}' "
+        f"y2='{Y(hi):.1f}' stroke='#999' stroke-width='1'/>",
+        f"<line x1='{X(0):.1f}' y1='{Y(0):.1f}' x2='{X(hi):.1f}' "
+        f"y2='{Y(hi * (1 + tolerance)):.1f}' stroke='#ccc' "
+        "stroke-dasharray='4 3'/>",
+        f"<line x1='{X(0):.1f}' y1='{Y(0):.1f}' x2='{X(hi):.1f}' "
+        f"y2='{Y(hi * (1 - tolerance)):.1f}' stroke='#ccc' "
+        "stroke-dasharray='4 3'/>",
+    ]
+    for x, y, label in pts:
+        ok = abs(y / x - 1.0) <= tolerance if x > 0 else False
+        color = "#4c78a8" if ok else "#e45756"
+        parts.append(
+            f"<circle cx='{X(x):.1f}' cy='{Y(y):.1f}' r='3.2' fill='{color}' "
+            f"fill-opacity='0.75'><title>{_esc(label)}: sim {x:.4f}s, "
+            f"pred {y:.4f}s ({y / x - 1.0:+.1%})</title></circle>"
+        )
+    parts.append(
+        f"<text x='{width / 2:.0f}' y='{h - 6}' font-size='11' fill='#666' "
+        "text-anchor='middle'>simulated wall (s)</text>"
+        f"<text x='12' y='{h / 2:.0f}' font-size='11' fill='#666' "
+        f"transform='rotate(-90 12 {h / 2:.0f})' text-anchor='middle'>"
+        "predicted wall (s)</text></svg>"
+        f"<p class='note'>diagonal = perfect prediction; dashed = "
+        f"±{tolerance:.0%} gate; red points are out of band.</p>"
+    )
+    return "".join(parts)
+
+
+def planner_section(
+    model: "ReplayModel",
+    validation_rows: Sequence[dict] | None = None,
+    top_k: int = 8,
+) -> str:
+    """The capacity-planner fragment: sensitivity ranking (+ scatter)."""
+    body = ["<h3>capacity planner (what-if replay)</h3>"]
+    body.append(_sensitivity_table(model.sensitivity(top_k=top_k)))
+    buckets = model.bucket_seconds()
+    total = sum(buckets.values()) or 1.0
+    comp = " · ".join(
+        f"{name} {secs / total:.1%}" for name, secs in buckets.items() if secs > 0
+    )
+    body.append(
+        f"<p class='note'>task-seconds composition: {comp} "
+        f"(DESIGN.md §14 for the model and its blind spots)</p>"
+    )
+    if validation_rows:
+        body.append("<h3>predicted vs simulated (validation)</h3>")
+        body.append(_pred_vs_sim_scatter(validation_rows))
+    return "".join(body)
+
+
+def render_planner_page(
+    model: "ReplayModel",
+    validation_rows: Sequence[dict] | None = None,
+    title: str = "what-if capacity planner",
+    top_k: int = 8,
+) -> str:
+    """A standalone capacity-planner page for one replay model.
+
+    Used by ``examples/whatif_planner.py`` when planning from a bare
+    JSONL trace (no live :class:`RunResult` to build the full run report
+    around).  ``validation_rows`` adds the predicted-vs-simulated
+    scatter, e.g. the flattened cells of ``results/BENCH_whatif.json``.
+    """
+    meta = model.meta
+    bits = [f"transport <b>{_esc(model.transport)}</b>"]
+    if meta.get("workload"):
+        bits.insert(0, f"workload <b>{_esc(meta['workload'])}</b>")
+    if meta.get("system"):
+        bits.append(_esc(meta["system"]))
+    bits.append(
+        f"{model.n_executors} executors x {model.slots_per_executor} slots"
+    )
+    bits.append(f"recorded wall <b>{model.wall_s:.4f}s</b>")
+    header = "<p>" + " · ".join(bits) + "</p>"
+    return (
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>"
+        f"<title>{_esc(title)}</title><style>{_CSS}</style></head>"
+        f"<body><h1>{_esc(title)}</h1>{header}"
+        f"{planner_section(model, validation_rows, top_k=top_k)}</body></html>"
+    )
+
+
 def render_report(
     runs: Iterable[tuple["RunResult", CriticalPathReport]],
     title: str = "repro run report",
@@ -241,6 +387,16 @@ def render_report(
             body.append("<h3>stage Gantt</h3>" + _gantt_svg(flight))
             body.append("<h3>message timeline</h3>" + _timeline_svg(flight))
         body.append("<h3>critical path</h3>" + _critpath_table(cp))
+        if flight is not None:
+            from repro.obs.whatif import ReplayModel
+
+            try:
+                model = ReplayModel.from_result(result)
+            except ValueError:
+                # e.g. a multi-tenant job-server trace: no planner section.
+                pass
+            else:
+                body.append(planner_section(model))
         sections.append("".join(body))
     return (
         "<!DOCTYPE html><html><head><meta charset='utf-8'>"

@@ -478,10 +478,12 @@ class SimExecutor:
                 t_fetch = self.sim.env.now
                 # Local blocks: straight off the RAM disk.
                 local = float(fetch_bytes[col])
+                local_read = 0.0
                 if local > 0:
                     self.bytes_read_local += int(local)
                     tm.local_bytes.inc(local)
-                    yield self.sim.env.timeout(local / RAMDISK_READ_BPS)
+                    local_read = local / RAMDISK_READ_BPS
+                    yield self.sim.env.timeout(local_read)
                 # Remote blocks: through the transport under test.
                 sources = [
                     (src, int(fetch_bytes[i]), int(blocks[i]))
@@ -504,6 +506,7 @@ class SimExecutor:
                     "task.finish", ctx,
                     task=label, exec=self.exec_id,
                     fetch_wait_s=fetch_wait, combine_s=combine,
+                    local_s=local_read,
                 )
         finally:
             self.slots.release(req)
@@ -843,6 +846,23 @@ class SparkSimCluster:
             launch_seconds=self.launch_seconds,
         )
         causal = self.env.causal
+        if causal.enabled:
+            # Self-describing trace header: everything the what-if replay
+            # engine needs to rebuild its model from an exported JSONL log
+            # (repro.obs.whatif) without the live cluster object.
+            mpi_world = getattr(self.transport, "mpi_world", None)
+            causal.event(
+                "run.meta", None,
+                workload=profile.name,
+                transport=self.transport.name,
+                system=self.system.name,
+                n_workers=self.n_workers,
+                cores_per_executor=self.cores_per_executor,
+                slots_per_executor=self.executors[0].slots.capacity,
+                rendezvous_threshold=(
+                    0 if mpi_world is None else int(mpi_world.model.rendezvous_threshold)
+                ),
+            )
         for stage in profile.stages:
             t0 = self.env.now
             causal.event("stage.start", None, stage=stage.label, n_tasks=stage.n_tasks)

@@ -105,6 +105,72 @@ class TestSyntheticAnalysis:
         assert report.share("wire") == 0.0
 
 
+def multi_tenant_flight() -> FlightRecorder:
+    """The synthetic DAG plus job-server arrival events for two apps.
+
+    ``app-b`` waits 0.2 s between submission and start, ``app-a`` 0.5 s;
+    ``app-c`` starts the instant it is submitted (no pseudo-stage).
+    """
+    rec = synthetic_flight()
+    rec.record(0.0, "job.submit", None, app="app-b")
+    rec.record(0.1, "job.submit", None, app="app-a")
+    rec.record(0.2, "job.start", None, app="app-b")
+    rec.record(0.6, "job.start", None, app="app-a")
+    rec.record(0.7, "job.submit", None, app="app-c")
+    rec.record(0.7, "job.start", None, app="app-c")
+    return rec
+
+
+class TestRollupAccessors:
+    """The report's roll-up surface: shares, per-stage chains, pseudo-stages."""
+
+    def test_sched_wait_pseudo_stages_ordered_by_submission(self):
+        report = analyze(multi_tenant_flight(), "mpi-basic")
+        pseudo = [s for s in report.stages if s.stage.endswith(":sched-wait")]
+        assert [s.stage for s in pseudo] == ["app-b:sched-wait", "app-a:sched-wait"]
+        b, a = pseudo
+        assert b.segments == {"sched-wait": pytest.approx(0.2)}
+        assert a.segments == {"sched-wait": pytest.approx(0.5)}
+        assert (b.start_s, b.end_s) == (0.0, 0.2)
+        # app-c started instantly: queueing contributed nothing, no row.
+        assert report.stage("app-c:sched-wait") is None
+
+    def test_sched_wait_rolls_up_like_any_segment(self):
+        report = analyze(multi_tenant_flight(), "mpi-basic")
+        assert report.segment_seconds("sched-wait") == pytest.approx(0.7)
+        base = analyze(synthetic_flight(), "mpi-basic").total_seconds
+        assert report.total_seconds == pytest.approx(base + 0.7)
+        assert report.share("sched-wait") == pytest.approx(0.7 / (base + 0.7))
+        # Shares still partition the whole path, pseudo-stages included.
+        assert sum(report.share(seg) for seg in SEGMENTS) == pytest.approx(1.0)
+
+    def test_single_tenant_flight_has_no_sched_wait(self):
+        report = analyze(synthetic_flight(), "mpi-basic")
+        assert report.segment_seconds("sched-wait") == 0.0
+        assert not [s for s in report.stages if "sched-wait" in s.stage]
+
+    def test_per_stage_chain_decomposition_sums_to_stage_total(self):
+        report = analyze(multi_tenant_flight(), "mpi-basic")
+        for s in report.stages:
+            assert s.total_s == pytest.approx(sum(s.segments.values()))
+            # seconds() is total over the chain's occurrences of a segment
+            # and 0.0 for segments the chain never touched.
+            for seg in SEGMENTS:
+                assert s.seconds(seg) >= 0.0
+            assert s.seconds("no-such-segment") == 0.0
+        read = report.stage("Job0-read")
+        assert read.total_s == pytest.approx(
+            sum(read.seconds(seg) for seg in SEGMENTS)
+        )
+
+    def test_segment_seconds_is_sum_over_stages(self):
+        report = analyze(multi_tenant_flight(), "mpi-basic")
+        for seg in SEGMENTS:
+            assert report.segment_seconds(seg) == pytest.approx(
+                sum(s.seconds(seg) for s in report.stages)
+            )
+
+
 class TestCriticalPathEntryPoint:
     def test_raises_without_flight(self):
         result = SimpleNamespace(flight=None, transport="nio")

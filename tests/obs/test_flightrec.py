@@ -120,6 +120,62 @@ class TestQueriesAndExport:
         ]
 
 
+class TestJsonlImport:
+    """`from_jsonl`/`load_jsonl` — the exact inverse of `to_jsonl`."""
+
+    def _rich_recorder(self):
+        """Spans, matches with edges, and failure tombstones in one log."""
+        rec = FlightRecorder()
+        rec.record(0.0, "run.meta", None, transport="mpi-basic", n_workers=2,
+                   slots_per_executor=4, rendezvous_threshold=16384)
+        rec.record(0.1, "msg.send", ctx(1, 1), type=3, nbytes=64, ch="c0")
+        rec.record(0.2, "mpi.match", ctx(1, 1), waited_s=0.05, unexpected=True)
+        rec.record(0.3, "msg.send", ctx(1, 2, 1), type=4, nbytes=1 << 20)
+        rec.record(0.4, "msg.recv", ctx(1, 2, 1), nbytes=1 << 20)
+        # A dangling span closed by a channel death, then the world abort:
+        # the tombstone tail every crashed trace ends with.
+        rec.span_open(ctx(2, 3), channel="c1")
+        rec.close_channel(0.5, "c1", "connection reset")
+        rec.span_open(ctx(2, 4), channel="c2")
+        rec.close_all(0.6, "world aborted", terminal="mpi.abort")
+        return rec
+
+    def test_jsonl_round_trip_is_identity(self):
+        rec = self._rich_recorder()
+        text = rec.to_jsonl()
+        assert FlightRecorder.from_jsonl(text).to_jsonl() == text
+
+    def test_events_compare_equal_field_for_field(self):
+        rec = self._rich_recorder()
+        back = FlightRecorder.from_jsonl(rec.to_jsonl())
+        assert len(back) == len(rec)
+        for orig, loaded in zip(rec.events, back.events):
+            assert (loaded.t, loaded.name) == (orig.t, orig.name)
+            assert (loaded.trace, loaded.span, loaded.parent) == (
+                orig.trace, orig.span, orig.parent,
+            )
+            assert loaded.attrs == orig.attrs
+
+    def test_tombstones_survive_the_round_trip(self):
+        back = FlightRecorder.from_jsonl(self._rich_recorder().to_jsonl())
+        assert [ev.span for ev in back.named("span.aborted")] == [3, 4]
+        assert len(back.named("channel.dead")) == 1
+        (tomb,) = back.named("mpi.abort")
+        assert tomb.attrs == {"reason": "world aborted", "closed": 1}
+
+    def test_load_jsonl_reads_write_output(self, tmp_path):
+        rec = self._rich_recorder()
+        path = rec.write(str(tmp_path / "flight.jsonl"))
+        assert FlightRecorder.load_jsonl(path).to_jsonl() == rec.to_jsonl()
+
+    def test_blank_lines_ignored(self):
+        rec = FlightRecorder.from_jsonl('\n{"t": 1.0, "ev": "x"}\n\n')
+        assert len(rec) == 1 and rec.events[0].name == "x"
+
+    def test_empty_text_empty_recorder(self):
+        assert len(FlightRecorder.from_jsonl("")) == 0
+
+
 class TestPickling:
     def test_event_and_context_round_trip(self):
         ev = FlightEvent(1.5, "msg.send", trace=2, span=3, parent=1,
