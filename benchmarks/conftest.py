@@ -93,13 +93,18 @@ def ohb_payload(cells) -> dict:
         }
         snap = c.result.metrics
         if snap is not None:
-            # cache.trace.* counters attribute host-side sample-trace
+            # cache.trace.* / cache.run.* counters attribute host-side
             # cache traffic: their values depend on cache temperature
             # (cold vs warm disk), not on (spec, seed). Rows must stay
             # pure functions of the spec, so they are excluded from the
-            # metric census.
+            # metric census, as is the simnet.fluid.rerate.* batch
+            # telemetry (deterministic, but kept out so the census only
+            # counts simulation-facing metrics).
             row["metrics"] = {
-                "n_metrics": len(snap) - len(snap.names("cache.trace.*")),
+                "n_metrics": len(snap)
+                - len(snap.names("cache.trace.*"))
+                - len(snap.names("cache.run.*"))
+                - len(snap.names("simnet.fluid.rerate.*")),
                 "polling_tax_s": polling_tax_seconds(snap),
                 "loop_busy_fraction": loop_busy_fraction(snap),
                 "iprobe_calls": iprobe_calls(snap),

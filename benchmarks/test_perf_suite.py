@@ -20,6 +20,8 @@ from benchmarks.conftest import RESULTS_DIR
 from repro.harness.perfbench import (
     PINNED_CELLS,
     PRE_PR_BASELINE,
+    PRE_VEC_BASELINE,
+    RUN_CACHE_PAIRS,
     TRACE_CACHE_PAIRS,
     regressions,
     run_perf_suite,
@@ -64,6 +66,42 @@ def test_speedup_vs_pre_pr_baseline_recorded(payload):
     assert set(speedups) == baselined
     assert payload["baseline"]["paired_speedup"]["fig10_groupby_8w_mpi-basic"] >= 3.0
     assert payload["baseline"]["best_speedup"] >= 3.0
+
+
+def test_fluid_rerate_scale_cells_and_baseline(payload):
+    # The vectorized-fluid / park-waiter pass: its paired measurement is
+    # recorded per flow-heavy cell, and the live run must carry the 32-
+    # and 64-worker scale cells it makes tractable (the 64w smoke cell
+    # alone dispatches ~1.8M kernel events).
+    fluid = payload["fluid_baseline"]
+    baselined = {c["name"] for c in payload["cells"]} & set(PRE_VEC_BASELINE)
+    assert set(fluid["speedup_vs_baseline"]) == baselined
+    # Paired ratios from the alternating measurement: the win must grow
+    # with scale — that is the point of batching the re-rate work.
+    paired = fluid["paired_speedup"]
+    assert paired["fig10_groupby_32w_mpi-basic"] >= 1.2
+    assert paired["scale_groupby_64w_mpi-basic"] >= 1.3
+    by_name = {c["name"]: c for c in payload["cells"]}
+    assert by_name["fig10_groupby_32w_mpi-basic"]["events_processed"] > 2_000_000
+    assert by_name["scale_groupby_64w_mpi-basic"]["events_processed"] > 1_500_000
+
+
+def test_run_cache_warm_speedup_and_no_resimulation(payload):
+    # The full-run result cache's perf gate: the warm twin of the pinned
+    # GroupBy cell must be served from the store without simulating
+    # (asserted inside the cell via the cell-run counter) and be >= 5x
+    # faster than its cold twin.  Byte-identity of cached vs simulated
+    # rows is covered by tests/harness/test_runcache.py.
+    block = payload["run_cache"]
+    if not block["enabled"]:
+        pytest.skip("run cache disabled (REPRO_RUN_CACHE=0)")
+    assert block["pairs"] == [list(p) for p in RUN_CACHE_PAIRS]
+    for cold_name, _warm_name in RUN_CACHE_PAIRS:
+        assert block["warm_speedup"][cold_name] >= 5.0, (
+            f"{cold_name}: warm run cache only "
+            f"{block['warm_speedup'][cold_name]:.2f}x faster than cold"
+        )
+    assert block["stats"]["errors"] == 0
 
 
 def test_trace_cache_warm_speedup_and_single_execution(payload):

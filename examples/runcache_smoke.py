@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Full-run result cache smoke: simulate a cell once, replay many.
+
+Runs one fig9-sized GroupBy cell three times against a fresh private
+cache store:
+
+1. **cold** — empty store, the cell really simulates;
+2. **warm (memo)** — same process, served from the in-process memo;
+3. **warm (disk)** — memo dropped, served from the disk store, which is
+   what a fresh CI run or a parallel-harness worker would hit.
+
+Exits non-zero unless every replay's rows are byte-identical to the cold
+run's and each warm tier is >= 5x faster than the cold simulation (in
+practice a warm hit is one unpickle — thousands of times faster).
+
+Run:  PYTHONPATH=src python examples/runcache_smoke.py
+"""
+
+import os
+import sys
+import tempfile
+import time
+
+MIN_WARM_SPEEDUP = 5.0
+
+SPEC = ("GroupByTest", 2, 28 * 2**30, "mpi-basic", 0.25, "Frontera")
+
+
+def canon(cell) -> str:
+    """Canonical textual form of one cell's result rows."""
+    return repr(
+        (
+            cell.workload,
+            cell.n_workers,
+            cell.total_cores,
+            cell.data_bytes,
+            cell.transport,
+            cell.result.launch_seconds,
+            sorted(cell.result.stage_seconds.items()),
+        )
+    )
+
+
+def timed(fn):
+    t0 = time.perf_counter()
+    out = fn()
+    return out, time.perf_counter() - t0
+
+
+def main() -> int:
+    os.environ["REPRO_RUN_CACHE_DIR"] = tempfile.mkdtemp(
+        prefix="runcache-smoke-"
+    )
+    from repro.harness import runcache
+    from repro.harness.parallel import run_ohb_cell
+
+    runcache.clear_memory_cache()
+    cold, cold_wall = timed(lambda: run_ohb_cell(SPEC))
+    memo, memo_wall = timed(lambda: run_ohb_cell(SPEC))
+    runcache.clear_memory_cache()
+    disk, disk_wall = timed(lambda: run_ohb_cell(SPEC))
+    stats = runcache.run_cache_stats()
+
+    print(f"cold (simulated):   {cold_wall * 1e3:9.1f} ms")
+    print(
+        f"warm (memo hit):    {memo_wall * 1e3:9.1f} ms"
+        f"   {cold_wall / memo_wall:,.0f}x"
+    )
+    print(
+        f"warm (disk hit):    {disk_wall * 1e3:9.1f} ms"
+        f"   {cold_wall / disk_wall:,.0f}x"
+    )
+    print(
+        f"stats: {stats['cell_runs']} simulation(s), "
+        f"{stats['hits_mem']} memo hit(s), {stats['hits_disk']} disk hit(s)"
+    )
+
+    failures = []
+    if stats["cell_runs"] != 1:
+        failures.append(f"expected exactly 1 simulation, ran {stats['cell_runs']}")
+    if canon(memo) != canon(cold):
+        failures.append("memo-hit rows differ from the simulated rows")
+    if canon(disk) != canon(cold):
+        failures.append("disk-hit rows differ from the simulated rows")
+    for name, wall in (("memo", memo_wall), ("disk", disk_wall)):
+        if cold_wall / wall < MIN_WARM_SPEEDUP:
+            failures.append(
+                f"warm {name} hit only {cold_wall / wall:.1f}x faster "
+                f"than cold (need >= {MIN_WARM_SPEEDUP}x)"
+            )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("runcache smoke OK: 1 simulation, byte-identical replays")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -207,6 +207,63 @@ class MpiBasicEventLoop(EventLoop):
         self._c_poll_rounds = env.metrics.counter(
             f"netty.loop.{name}.poll_rounds"
         )
+        # Idle-park plumbing: one *persistent* waiter per signal source
+        # (socket, probe bucket, task queue, wakeup queue) instead of a
+        # fresh fan-out every park. Only spent waiters are re-armed, so a
+        # park costs O(sources fired since last park), not O(sources).
+        self._park_ev: "Event | None" = None
+        self._park_waiters: dict = {}
+        # (channel, binding, tag) rows mirroring mpi_channels; rebuilt
+        # lazily when a bind/unbind invalidates it (order must match —
+        # the iprobe drain order is simulation-visible).
+        self._poll_cache: list = []
+        self._poll_dirty = True
+        self._endpoint = None
+
+    def _on_park_signal(self, key, ev) -> None:
+        """A signal-source waiter fired: wake the park, ignore stale fires.
+
+        A waiter replaced by a newer one for the same source (it fired
+        during a busy round and was re-armed at the next park) must not
+        wake a *later* park — that would add a spurious poll round and
+        change simulated time.
+        """
+        entry = self._park_waiters.get(key)
+        if entry is None or entry[1] is not ev:
+            return
+        park = self._park_ev
+        if park is not None and not park.triggered:
+            park.succeed()
+
+    def _arm_park_waiter(self, key, source, make) -> None:
+        # ``key`` is id(source) for object sources (SelectionKey is
+        # unhashable); the entry pins ``source`` alive so a recycled id
+        # can never alias a stale waiter.
+        waiters = self._park_waiters
+        entry = waiters.get(key)
+        if entry is None or entry[1].triggered:
+            ev = make()
+            waiters[key] = (source, ev)
+            ev.add_callback(lambda e, k=key: self._on_park_signal(k, e))
+
+    def _poll_rows(self) -> list:
+        """The (channel, binding, tag) drain list, cached across rounds.
+
+        ``channel_inactive`` removes channels from ``mpi_channels``
+        directly, so a length mismatch also invalidates the cache.
+        """
+        rows = self._poll_cache
+        if self._poll_dirty or len(rows) != len(self.mpi_channels):
+            rows = self._poll_cache = [
+                (
+                    channel,
+                    channel.attributes.get(ATTR_BINDING),
+                    channel.attributes.get(ATTR_TAG),
+                )
+                for channel in self.mpi_channels
+            ]
+            self._poll_dirty = False
+        return rows
 
     def _publish_metrics(self) -> None:
         super()._publish_metrics()
@@ -217,6 +274,7 @@ class MpiBasicEventLoop(EventLoop):
         if channel in self.mpi_channels:
             return  # idempotent: re-handshakes must not double-poll
         self.mpi_channels.append(channel)
+        self._poll_dirty = True
         # A parked loop must start iprobing the new channel.
         self.selector.wakeup()
 
@@ -239,17 +297,19 @@ class MpiBasicEventLoop(EventLoop):
 
             # Drain every MPI-bound channel that iprobe reports ready.
             progressed = bool(keys)
-            endpoint = getattr(self, "mpi_endpoint", None)
+            endpoint = self._endpoint
+            if endpoint is None:
+                endpoint = self._endpoint = getattr(self, "mpi_endpoint", None)
             if endpoint is not None:
-                for channel in list(self.mpi_channels):
+                matching = endpoint.proc.matching
+                for channel, binding, tag in self._poll_rows():
                     if not channel.active:
                         self.mpi_channels.remove(channel)
+                        self._poll_dirty = True
                         continue
-                    binding = channel.attributes.get(ATTR_BINDING)
-                    tag = channel.attributes.get(ATTR_TAG)
                     if binding is None or tag is None:
                         continue
-                    while endpoint.proc.matching.iprobe(
+                    while matching.iprobe(
                         binding.peer_rank, tag, binding.context_id
                     ):
                         self.iprobe_hits += 1
@@ -292,28 +352,45 @@ class MpiBasicEventLoop(EventLoop):
                 yield env.timeout(BASIC_POLL_PERIOD_S / 2)
 
     def _wait_for_signal(self) -> Generator:
+        """Park until any signal source fires (message, task, wakeup).
+
+        Sources keep one persistent waiter each (``_arm_park_waiter``):
+        a pending waiter means the source has been quiet since it was
+        armed, so only spent waiters need re-arming — the park's cost is
+        proportional to the signals since the last park, not to the
+        number of channels. A waiter for a source that is already ready
+        triggers at creation, exactly like the per-park fan-out it
+        replaces, so wake timing (and thus simulated time) is unchanged.
+        """
         env = self.env
-        events = []
+        arm = self._arm_park_waiter
         for key in self.selector.keys:
-            if key.channel is not None:
-                events.append(key.channel.socket.when_readable())
+            channel = key.channel
+            if channel is not None:
+                arm(id(key), key, channel.socket.when_readable)
             elif key.listener is not None:
-                events.append(key.listener.when_acceptable())
-        endpoint = getattr(self, "mpi_endpoint", None)
+                arm(id(key), key, key.listener.when_acceptable)
+        endpoint = self._endpoint
+        if endpoint is None:
+            endpoint = self._endpoint = getattr(self, "mpi_endpoint", None)
         if endpoint is not None:
-            for channel in self.mpi_channels:
-                binding = channel.attributes.get(ATTR_BINDING)
-                tag = channel.attributes.get(ATTR_TAG)
+            matching = endpoint.proc.matching
+            for channel, binding, tag in self._poll_rows():
                 if binding is None or tag is None:
                     continue
-                events.append(
-                    endpoint.proc.matching.probe_event(
-                        binding.peer_rank, tag, binding.context_id
-                    )
+                arm(
+                    id(channel),
+                    channel,
+                    lambda m=matching, b=binding, t=tag: m.probe_event(
+                        b.peer_rank, t, b.context_id
+                    ),
                 )
-        events.append(self.tasks.when_nonempty())
-        events.append(self.selector._wakeups.when_nonempty())
-        yield env.any_of(events)
+        arm("tasks", None, self.tasks.when_nonempty)
+        arm("wakeups", None, self.selector._wakeups.when_nonempty)
+        park = env.event()
+        self._park_ev = park
+        yield park
+        self._park_ev = None
         self.selector._drain_wakeups()
 
 

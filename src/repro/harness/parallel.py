@@ -65,20 +65,29 @@ def run_ohb_cell(spec: tuple) -> Any:
     """
     workload_name, n_workers, data_bytes, transport, fidelity, system_name = spec[:6]
     obs_causal = bool(spec[6]) if len(spec) > 6 else False
-    from repro.harness.experiments import _run_ohb
-    from repro.harness.systems import SYSTEMS
-    from repro.workloads.ohb import GROUP_BY, SORT_BY
+    from repro.harness.runcache import get_or_run
 
-    workloads = {w.name: w for w in (GROUP_BY, SORT_BY)}
-    return _run_ohb(
-        workloads[workload_name],
-        n_workers,
-        data_bytes,
-        transport,
-        fidelity,
-        system=SYSTEMS[system_name],
-        obs_causal=obs_causal,
+    def _run():
+        from repro.harness.experiments import _run_ohb
+        from repro.harness.systems import SYSTEMS
+        from repro.workloads.ohb import GROUP_BY, SORT_BY
+
+        workloads = {w.name: w for w in (GROUP_BY, SORT_BY)}
+        return _run_ohb(
+            workloads[workload_name],
+            n_workers,
+            data_bytes,
+            transport,
+            fidelity,
+            system=SYSTEMS[system_name],
+            obs_causal=obs_causal,
+        )
+
+    canon = (
+        workload_name, n_workers, data_bytes, transport, fidelity,
+        system_name, obs_causal,
     )
+    return get_or_run("ohb", canon, _run)
 
 
 def run_hibench_cell(spec: tuple) -> Any:
@@ -88,20 +97,26 @@ def run_hibench_cell(spec: tuple) -> Any:
     cores_per_executor, fidelity)``; ``cores_per_executor`` may be None.
     """
     workload_name, system_name, n_workers, transport, cores, fidelity = spec
-    from repro.harness.experiments import HiBenchCell
-    from repro.harness.systems import SYSTEMS
-    from repro.spark.deploy import SparkSimCluster
-    from repro.workloads.hibench import SPECS
+    from repro.harness.runcache import get_or_run
 
-    system = SYSTEMS[system_name]
-    sim = SparkSimCluster(system, n_workers, transport, cores_per_executor=cores)
-    sim.launch()
-    prof = SPECS[workload_name].build_profile(
-        system, n_workers, cores_per_executor=cores, fidelity=fidelity
-    )
-    res = sim.run_profile(prof)
-    sim.shutdown()
-    return HiBenchCell(workload_name, system.name, transport, res.total_seconds)
+    def _run():
+        from repro.harness.experiments import HiBenchCell
+        from repro.harness.systems import SYSTEMS
+        from repro.spark.deploy import SparkSimCluster
+        from repro.workloads.hibench import SPECS
+
+        system = SYSTEMS[system_name]
+        sim = SparkSimCluster(system, n_workers, transport, cores_per_executor=cores)
+        sim.launch()
+        prof = SPECS[workload_name].build_profile(
+            system, n_workers, cores_per_executor=cores, fidelity=fidelity
+        )
+        res = sim.run_profile(prof)
+        sim.shutdown()
+        return HiBenchCell(workload_name, system.name, transport, res.total_seconds)
+
+    canon = (workload_name, system_name, n_workers, transport, cores, fidelity)
+    return get_or_run("hibench", canon, _run)
 
 
 def run_jobserver_cell(spec: tuple) -> Any:
@@ -116,27 +131,36 @@ def run_jobserver_cell(spec: tuple) -> Any:
     """
     transport, sched_name, system_name, n_workers, cores, cluster_seed, ts = spec
     seed, n_jobs, mean_ia, min_bytes, max_bytes, par_choices, fidelity = ts
-    from repro.harness.systems import SYSTEMS
-    from repro.jobserver import SCHEDULERS, poisson_trace, run_trace
-    from repro.spark.deploy import SparkSimCluster
+    from repro.harness.runcache import get_or_run
 
-    trace = poisson_trace(
-        seed=seed,
-        n_jobs=n_jobs,
-        mean_interarrival_s=mean_ia,
-        min_bytes=min_bytes,
-        max_bytes=max_bytes,
-        parallelism_choices=tuple(par_choices),
-        fidelity=fidelity,
+    def _run():
+        from repro.harness.systems import SYSTEMS
+        from repro.jobserver import SCHEDULERS, poisson_trace, run_trace
+        from repro.spark.deploy import SparkSimCluster
+
+        trace = poisson_trace(
+            seed=seed,
+            n_jobs=n_jobs,
+            mean_interarrival_s=mean_ia,
+            min_bytes=min_bytes,
+            max_bytes=max_bytes,
+            parallelism_choices=tuple(par_choices),
+            fidelity=fidelity,
+        )
+        sim = SparkSimCluster(
+            SYSTEMS[system_name],
+            n_workers,
+            transport,
+            cores_per_executor=cores,
+            seed=cluster_seed,
+        )
+        return run_trace(sim, SCHEDULERS.create(sched_name), trace)
+
+    canon = (
+        transport, sched_name, system_name, n_workers, cores, cluster_seed,
+        (seed, n_jobs, mean_ia, min_bytes, max_bytes, tuple(par_choices), fidelity),
     )
-    sim = SparkSimCluster(
-        SYSTEMS[system_name],
-        n_workers,
-        transport,
-        cores_per_executor=cores,
-        seed=cluster_seed,
-    )
-    return run_trace(sim, SCHEDULERS.create(sched_name), trace)
+    return get_or_run("jobserver", canon, _run)
 
 
 def run_ohb_cells(specs: Iterable[tuple], jobs: int | None = None) -> list[Any]:

@@ -1,0 +1,267 @@
+"""Two-tier full-run result cache: simulate a cell once, replay many.
+
+The sample-trace cache (:mod:`repro.harness.tracecache`) stopped the
+harness re-executing identical laptop-scale sample runs; the *simulation*
+of each figure cell still re-ran from scratch on every benchmark
+invocation even when nothing relevant had changed. Every cell result is a
+pure function of its primitive spec — that is the parallel harness's
+founding invariant — so a cell's :class:`RunResult` can be cached exactly
+like a trace:
+
+* an **in-process memo** (dict) — free hits within one process;
+* a **content-addressed disk store** under ``results/.runcache/`` —
+  shared across the ``ProcessPoolExecutor`` workers of
+  :mod:`repro.harness.parallel` and across repeated CI runs.
+
+The key is a sha256 over a canonical textual repr of (schema, cell kind,
+the full primitive spec tuple, the live values of every module constant
+the what-if harness patches, a code-version fingerprint of ``src/repro``,
+and the Python minor version). The code fingerprint — a sha256 over the
+sorted (path, content-hash) pairs of every ``repro`` source file — means
+*any* source edit invalidates every entry cleanly: stale entries are
+never read because the address they were stored under no longer matches
+anything the code asks for. The live patchable constants guard the other
+direction: a what-if truth re-simulation that monkeypatches poll costs or
+ramdisk rates inside an unchanged source tree must not poison (or read)
+the unpatched entries.
+
+Both tiers store the *pickled* result blob and every hit unpickles it
+afresh, so a cached cell is byte-identical to a recomputed one and no two
+callers ever alias the same mutable result object.
+
+Corrupted or stale entries (truncated pickle, garbage bytes, an entry
+whose recorded key disagrees with its filename) are treated as misses:
+the cell re-simulates and the entry is rewritten. Disk writes are atomic
+(tmp file + ``os.replace``) so concurrent workers never observe a
+half-written entry.
+
+Set ``REPRO_RUN_CACHE=0`` to disable both tiers (every call re-simulates
+the cell); ``REPRO_RUN_CACHE_DIR`` overrides the store location.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import sys
+import tempfile
+from pathlib import Path
+from typing import Any, Callable
+
+RUN_SCHEMA = "run-result/1"
+
+# In-process memo: key -> pickled result blob (never the live object).
+_MEMO: dict[str, bytes] = {}
+
+# Process-lifetime stats. Callers that attribute traffic to one run (the
+# obs snapshot hook in ``spark.deploy``) snapshot a baseline and publish
+# deltas, mirroring the trace-cache pattern.
+_STATS = {
+    "hits_mem": 0,
+    "hits_disk": 0,
+    "misses": 0,
+    "cell_runs": 0,
+    "bytes_read": 0,
+    "bytes_written": 0,
+    "errors": 0,
+}
+
+# Cached code fingerprint; recomputed per process (and droppable by tests
+# via _reset_fingerprint_cache when they fake a source tree).
+_FINGERPRINT: str | None = None
+
+
+def run_cache_stats() -> dict[str, int]:
+    """Process-lifetime cache stats (copy; safe to mutate)."""
+    return dict(_STATS)
+
+
+def cache_enabled() -> bool:
+    """Both tiers are on unless ``REPRO_RUN_CACHE=0``."""
+    return os.environ.get("REPRO_RUN_CACHE", "1") != "0"
+
+
+def cache_dir() -> Path:
+    """On-disk store location (``REPRO_RUN_CACHE_DIR`` overrides)."""
+    override = os.environ.get("REPRO_RUN_CACHE_DIR")
+    if override:
+        return Path(override)
+    return Path("results") / ".runcache"
+
+
+def _source_root() -> Path:
+    """The ``repro`` package directory whose sources key the cache."""
+    return Path(__file__).resolve().parent.parent
+
+
+def code_fingerprint() -> str:
+    """sha256 over the sorted (relpath, content-sha) of ``src/repro``.
+
+    Computed once per process: any edit to any repro source file changes
+    the fingerprint and therefore every cache address. This is what lets
+    the cache default to *on* — a stale entry is unreachable by
+    construction rather than detected after the fact.
+    """
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        root = _source_root()
+        h = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            rel = path.relative_to(root).as_posix()
+            h.update(rel.encode("utf-8"))
+            h.update(b"\x00")
+            h.update(hashlib.sha256(path.read_bytes()).digest())
+        _FINGERPRINT = h.hexdigest()
+    return _FINGERPRINT
+
+
+def _reset_fingerprint_cache() -> None:
+    """Testing hook: force the fingerprint to recompute."""
+    global _FINGERPRINT
+    _FINGERPRINT = None
+
+
+def live_constants() -> tuple:
+    """Current values of every module constant the what-if harness patches.
+
+    The code fingerprint covers the constants' *source* values; these are
+    their *runtime* values. A truth re-simulation that monkeypatches poll
+    costs or ramdisk bandwidth gets distinct cache addresses, so patched
+    and unpatched runs can never serve each other's entries.
+    """
+    from repro.core import mpi_netty
+    from repro.spark import deploy
+
+    return (
+        ("mpi_netty.SELECT_NOW_COST_S", mpi_netty.SELECT_NOW_COST_S),
+        ("mpi_netty.IPROBE_COST_S", mpi_netty.IPROBE_COST_S),
+        ("mpi_netty.BASIC_POLL_PERIOD_S", mpi_netty.BASIC_POLL_PERIOD_S),
+        ("deploy.RAMDISK_WRITE_BPS", deploy.RAMDISK_WRITE_BPS),
+        ("deploy.RAMDISK_READ_BPS", deploy.RAMDISK_READ_BPS),
+    )
+
+
+def run_key(kind: str, spec: tuple) -> str:
+    """Content hash addressing one (kind, spec, code-version) cell result.
+
+    Canonical-repr hashing, not ``hash()``: PYTHONHASHSEED salts the
+    builtin hash per process, and the whole point of the disk tier is
+    that different processes agree on the address.
+    """
+    material = repr(
+        (
+            RUN_SCHEMA,
+            kind,
+            spec,
+            live_constants(),
+            code_fingerprint(),
+            f"py{sys.version_info.major}.{sys.version_info.minor}",
+        )
+    )
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+def _entry_path(key: str) -> Path:
+    return cache_dir() / f"{key}.pkl"
+
+
+def _load_disk(key: str) -> bytes | None:
+    """Read one disk entry's result blob; any defect (missing, truncated,
+    garbage, wrong recorded key) is a miss, never an error for the caller."""
+    path = _entry_path(key)
+    try:
+        blob = path.read_bytes()
+    except OSError:
+        return None
+    try:
+        payload = pickle.loads(blob)
+        if payload["schema"] != RUN_SCHEMA or payload["key"] != key:
+            raise ValueError("stale or mismatched cache entry")
+        result_blob = payload["result"]
+        if not isinstance(result_blob, bytes):
+            raise TypeError("cache entry does not hold a pickled result")
+    except Exception:
+        _STATS["errors"] += 1
+        return None
+    _STATS["bytes_read"] += len(blob)
+    return result_blob
+
+
+def _store_disk(key: str, result_blob: bytes) -> None:
+    """Atomic write (tmp + rename); failures are silently tolerated —
+    the cache is an accelerator, never a correctness dependency."""
+    payload = {"schema": RUN_SCHEMA, "key": key, "result": result_blob}
+    try:
+        directory = cache_dir()
+        directory.mkdir(parents=True, exist_ok=True)
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as f:
+                f.write(blob)
+            os.replace(tmp, _entry_path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        _STATS["bytes_written"] += len(blob)
+    except Exception:
+        _STATS["errors"] += 1
+
+
+def get_or_run(kind: str, spec: tuple, runner: Callable[[], Any]) -> Any:
+    """Return the result for (kind, spec), simulating at most once per
+    machine while the cache holds.
+
+    Lookup order: in-process memo, disk store, then ``runner()`` (the
+    real cell simulation) with the pickled result promoted into both
+    tiers. Hits unpickle a fresh object every time. With the cache
+    disabled every call simulates. Unpicklable results (a runner
+    returning live simulation state) run uncached rather than failing.
+    """
+    if not cache_enabled():
+        _STATS["cell_runs"] += 1
+        return runner()
+    key = run_key(kind, spec)
+    blob = _MEMO.get(key)
+    if blob is not None:
+        _STATS["hits_mem"] += 1
+        return pickle.loads(blob)
+    blob = _load_disk(key)
+    if blob is not None:
+        _STATS["hits_disk"] += 1
+        _MEMO[key] = blob
+        return pickle.loads(blob)
+    _STATS["misses"] += 1
+    _STATS["cell_runs"] += 1
+    result = runner()
+    try:
+        blob = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception:
+        _STATS["errors"] += 1
+        return result
+    _MEMO[key] = blob
+    _store_disk(key, blob)
+    return pickle.loads(blob)
+
+
+def clear_memory_cache() -> None:
+    """Drop the in-process memo (disk entries survive)."""
+    _MEMO.clear()
+
+
+def clear_disk_cache() -> int:
+    """Remove every entry from the disk store; returns entries removed."""
+    directory = cache_dir()
+    removed = 0
+    if directory.is_dir():
+        for path in directory.glob("*.pkl"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+    return removed

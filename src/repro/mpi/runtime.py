@@ -112,9 +112,13 @@ class MPIProcess:
         a timeout.
         """
         self._check_sendable(dst_gid)
-        model = self.world.model
+        world = self.world
+        model = world.model
         size = sizeof(payload) if nbytes is None else int(nbytes)
-        yield self.env.timeout(model.sender_cpu_time(size))
+        overhead = world._send_cpu_memo.get(size)
+        if overhead is None:
+            overhead = world._send_cpu_memo[size] = model.sender_cpu_time(size)
+        yield self.env.timeout(overhead)
         self._check_sendable(dst_gid)  # peer may have died during overhead
         self.world._c_send_bytes.inc(size)
         if size <= model.rendezvous_threshold:
@@ -218,7 +222,12 @@ class MPIProcess:
                     return
                 if envl.send_done is not None and not envl.send_done.triggered:
                     envl.send_done.succeed()
-            delay = model.receiver_cpu_time(envl.nbytes)
+            world = self.world
+            delay = world._recv_cpu_memo.get(envl.nbytes)
+            if delay is None:
+                delay = world._recv_cpu_memo[envl.nbytes] = (
+                    model.receiver_cpu_time(envl.nbytes)
+                )
             if buffered and envl.protocol is Protocol.EAGER:
                 # Only eager payloads were actually parked in a bounce
                 # buffer; a rendezvous RTS carries no data to copy.
@@ -333,6 +342,10 @@ class MPIWorld:
         self._c_send_eager = m.counter("mpi.world.sends_eager")
         self._c_send_rendezvous = m.counter("mpi.world.sends_rendezvous")
         self._c_send_bytes = m.counter("mpi.world.send_bytes")
+        # Pure-function memos over the (fixed) world model: per-message
+        # CPU overheads keyed by payload size.
+        self._send_cpu_memo: dict[int, float] = {}
+        self._recv_cpu_memo: dict[int, float] = {}
 
     # -- registry ------------------------------------------------------------
     def process(self, gid: int) -> MPIProcess:

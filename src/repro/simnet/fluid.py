@@ -16,16 +16,26 @@ approximation:
   flow's rate depends *only on its own links' flow counts*;
 * bookkeeping is lazy and local: starting/finishing a flow re-rates only
   the flows sharing its links, each flow's progress is drained on touch,
-  and completions use per-flow generation-guarded timers. This keeps the
+  and completions use per-flow timers cancelled on every re-rate. This keeps the
   cost per network event at O(flows on the affected links), which is what
   makes 32-worker shuffle simulations tractable.
+
+Re-rating is the per-event hot path at scale: one shuffle wave re-rates
+every flow sharing a NIC lane on every start/finish. Batches at or above
+``FluidNetwork._VECTOR_MIN`` flows are computed with one numpy
+gather/divide/reduce over per-link capacity and flow-count arrays instead
+of a per-flow Python loop. Both paths produce bit-identical IEEE-754
+rates: the vector path evaluates exactly ``cap[l] / n[l]`` per link and a
+pairwise float64 min, the same operations the scalar path performs, and
+timers are re-armed in the same ``sorted(fids)`` order either way.
 """
 
 from __future__ import annotations
 
-import itertools
 import math
 from typing import TYPE_CHECKING, Hashable
+
+import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.simnet.engine import SimEngine
@@ -39,22 +49,50 @@ _FINISH_SLACK_BYTES = 1e-3
 class Flow:
     """One in-progress bulk transfer."""
 
-    __slots__ = ("fid", "links", "remaining", "rate", "last", "gen", "done", "timer")
-    _ids = itertools.count(0)
+    __slots__ = (
+        "fid",
+        "links",
+        "lidx",
+        "remaining",
+        "rate",
+        "last",
+        "done",
+        "timer",
+        "cb",
+    )
 
-    def __init__(self, links: tuple[Hashable, ...], nbytes: float, done: "Event") -> None:
-        self.fid = next(Flow._ids)
+    def __init__(
+        self,
+        fid: int,
+        links: tuple[Hashable, ...],
+        lidx: tuple[int, ...],
+        nbytes: float,
+        done: "Event",
+    ) -> None:
+        self.fid = fid
         self.links = links
+        self.lidx = lidx  # per-network dense link indices, parallel to links
         self.remaining = float(nbytes)
         self.rate = 0.0
         self.last = 0.0  # sim time of the last progress drain
-        self.gen = 0  # bumped on every rate change; stale timers no-op
         self.done = done
         self.timer = None  # pending completion Timeout (cancelled on re-rate)
+        # Persistent completion callback, attached to every timer this flow
+        # arms (re-rates churn timers far faster than flows are created, so
+        # one closure per flow beats one per arm). Stale timers cannot fire
+        # — arming always cancels the predecessor — and the callback checks
+        # timer identity anyway as a belt-and-braces guard.
+        self.cb = None
 
 
 class FluidNetwork:
     """Tracks active flows and drives their completions."""
+
+    # Re-rate batches with at least this many flows take the numpy path;
+    # smaller batches stay scalar (fixed array-build cost beats the loop
+    # only once a handful of flows share the touched links). Tests pin
+    # this to 1 / a large value to force either path.
+    _VECTOR_MIN = 8
 
     def __init__(self, env: "SimEngine") -> None:
         self.env = env
@@ -66,9 +104,39 @@ class FluidNetwork:
         # scanning link_flows.
         self.link_rate: dict[Hashable, float] = {}
         self.completed = 0
+        # Flow ids are allocated per network (not process-global) so two
+        # clusters built in the same process — parallel harness workers,
+        # back-to-back tests — see identical fid sequences and therefore
+        # identical sorted(fids) timer orders.
+        self._next_fid = 0
+        # Dense link registry backing the vectorized re-rate: link key ->
+        # array index, with capacity / active-flow-count arrays kept in
+        # lockstep with link_flows at every add/remove site.
+        self.link_index: dict[Hashable, int] = {}
+        self._caps_arr = np.zeros(16, dtype=np.float64)
+        self._counts_arr = np.zeros(16, dtype=np.int64)
         # Time-weighted concurrency of bulk transfers (repro.obs).
         self._g_active = env.metrics.time_gauge("simnet.fluid.active_flows")
         self._c_flow_bytes = env.metrics.counter("simnet.fluid.flow_bytes")
+        # Re-rate batch telemetry: plain ints on the hot path, published
+        # lazily at snapshot time (same idiom as netty.loop.* counters).
+        self._n_rerate_calls = 0
+        self._n_rerate_flows = 0
+        self._n_vector_batches = 0
+        self._max_batch = 0
+        m = env.metrics
+        c_calls = m.counter("simnet.fluid.rerate.calls")
+        c_flows = m.counter("simnet.fluid.rerate.flows")
+        c_vec = m.counter("simnet.fluid.rerate.vector_batches")
+        c_max = m.counter("simnet.fluid.rerate.max_batch")
+
+        def _publish_rerate_stats() -> None:
+            c_calls.value = float(self._n_rerate_calls)
+            c_flows.value = float(self._n_rerate_flows)
+            c_vec.value = float(self._n_vector_batches)
+            c_max.value = float(self._max_batch)
+
+        m.on_snapshot(_publish_rerate_stats)
 
     # -- public API ----------------------------------------------------------
     def transfer(self, links: list[tuple[Hashable, float]], nbytes: float) -> "Event":
@@ -84,24 +152,34 @@ class FluidNetwork:
         if nbytes == 0:
             done.succeed()
             return done
+        link_index = self.link_index
         keys = []
+        lidx = []
         for key, cap in links:
             if cap <= 0:
                 raise ValueError(f"link capacity must be positive, got {cap}")
-            if key not in self.link_caps:
-                self.link_caps[key] = float(cap)
-                self.link_flows[key] = set()
-                self.link_rate[key] = 0.0
+            idx = link_index.get(key)
+            if idx is None:
+                idx = self._register_link(key, float(cap))
             keys.append(key)
-        flow = Flow(tuple(keys), nbytes, done)
+            lidx.append(idx)
+        fid = self._next_fid
+        self._next_fid = fid + 1
+        flow = Flow(fid, tuple(keys), tuple(lidx), nbytes, done)
+        flow.cb = lambda ev, f=flow, on=self._on_timer: on(f, ev)
         flow.last = self.env.now
-        self.flows[flow.fid] = flow
+        self.flows[fid] = flow
         self._g_active.set(len(self.flows))
         self._c_flow_bytes.inc(nbytes)
-        affected = self._affected(keys)
-        for key in keys:
-            self.link_flows[key].add(flow.fid)
-        self._rerate(affected | {flow.fid})
+        link_flows = self.link_flows
+        counts = self._counts_arr
+        for key, idx in zip(keys, lidx):
+            sharing = link_flows[key]
+            if fid not in sharing:
+                sharing.add(fid)
+                counts[idx] += 1
+        # _affected() after registration already includes the new fid.
+        self._rerate(self._affected(keys))
         return done
 
     @property
@@ -123,11 +201,8 @@ class FluidNetwork:
         ]
         for flow in sorted(victims, key=lambda f: f.fid):
             del self.flows[flow.fid]
-            for key in flow.links:
-                self.link_flows[key].discard(flow.fid)
-                self.link_rate[key] -= flow.rate
-            flow.gen += 1  # stale completion timers become no-ops
-            self._cancel_timer(flow)
+            self._unlink(flow)
+            self._cancel_timer(flow)  # a cancelled timer's callback never runs
             flow.done.fail(exc_factory())
         self._g_active.set(len(self.flows))
         if victims:
@@ -150,10 +225,60 @@ class FluidNetwork:
         return max(self.link_rate.get(link, 0.0), 0.0) / cap
 
     # -- internals ----------------------------------------------------------
+    def _register_link(self, key: Hashable, cap: float) -> int:
+        idx = len(self.link_index)
+        if idx >= len(self._caps_arr):
+            self._caps_arr = np.concatenate([self._caps_arr, np.zeros_like(self._caps_arr)])
+            self._counts_arr = np.concatenate(
+                [self._counts_arr, np.zeros_like(self._counts_arr)]
+            )
+        self.link_index[key] = idx
+        self._caps_arr[idx] = cap
+        self.link_caps[key] = cap
+        self.link_flows[key] = set()
+        self.link_rate[key] = 0.0
+        return idx
+
+    def _unlink(self, flow: Flow) -> None:
+        """Remove a departing flow from its links' sharing sets/counts."""
+        link_flows = self.link_flows
+        link_rate = self.link_rate
+        counts = self._counts_arr
+        fid = flow.fid
+        rate = flow.rate
+        for key, idx in zip(flow.links, flow.lidx):
+            sharing = link_flows[key]
+            if fid in sharing:
+                sharing.remove(fid)
+                counts[idx] -= 1
+            link_rate[key] -= rate
+
     def _affected(self, keys) -> set[int]:
+        """Fids of every flow sharing a link in ``keys``.
+
+        May return a live internal sharing set on the single-link fast
+        path — callers must treat the result as read-only. The dominant
+        wire-path shape (exactly two links: one TX, one RX lane) gets a
+        single ``a | b`` union with no intermediate garbage.
+        """
+        link_flows = self.link_flows
+        if len(keys) == 2:
+            k0, k1 = keys
+            a = link_flows.get(k0)
+            b = link_flows.get(k1)
+            if a is None:
+                return b if b is not None else set()
+            if b is None:
+                return a
+            return a | b
+        if len(keys) == 1:
+            s = link_flows.get(keys[0])
+            return s if s is not None else set()
         out: set[int] = set()
         for key in keys:
-            out |= self.link_flows.get(key, set())
+            s = link_flows.get(key)
+            if s:
+                out |= s
         return out
 
     def _touch(self, flow: Flow) -> None:
@@ -166,29 +291,87 @@ class FluidNetwork:
                 flow.remaining = 0.0
         flow.last = now
 
-    def _rerate(self, fids: set[int]) -> None:
+    def _rerate(self, fids) -> None:
         """Re-rate the given flows and (re-)arm their completion timers.
 
         Two coalesced passes per step: drain everyone's progress first,
         then compute the new rates and arm timers — one timer churn per
         affected flow per re-rate, with the superseded timer cancelled
-        (tombstoned) instead of left to fire as a no-op.
+        (tombstoned) instead of left to fire as a no-op. Batches of
+        ``_VECTOR_MIN``+ flows compute all rates with one numpy
+        gather/divide/min over the link arrays; the arming loop runs in
+        the same order either way.
         """
         touched = []
+        flows = self.flows
+        now = self.env.now
         # sorted(fids) is load-bearing: _arm() below enqueues completion
         # timers, and the event heap breaks same-timestamp ties by
         # insertion sequence. Iterating a raw set would make timer order
         # (and thus simulated schedules) depend on set-iteration order,
         # breaking the byte-identical committed figure rows.
         for fid in sorted(fids):
-            flow = self.flows.get(fid)
+            flow = flows.get(fid)
             if flow is None:
                 continue
-            self._touch(flow)
+            dt = now - flow.last
+            if dt > 0:
+                flow.remaining -= flow.rate * dt
+                if flow.remaining < 0:
+                    flow.remaining = 0.0
+            flow.last = now
             touched.append(flow)
+        k = len(touched)
+        if k == 0:
+            return
+        self._n_rerate_calls += 1
+        self._n_rerate_flows += k
+        if k > self._max_batch:
+            self._max_batch = k
+        link_rate = self.link_rate
+        env = self.env
+        cancel = env.cancel
+        new_timeout = env.timeout
+        if k >= self._VECTOR_MIN:
+            # Vectorized path: gather each flow's links' cap/count pairs
+            # in one shot. Wire flows always have exactly two links; mixed
+            # batches fall back to a segmented min (reduceat).
+            self._n_vector_batches += 1
+            flat: list[int] = []
+            uniform2 = True
+            offsets: list[int] = []
+            pos = 0
+            for flow in touched:
+                li = flow.lidx
+                offsets.append(pos)
+                flat.extend(li)
+                pos += len(li)
+                if len(li) != 2:
+                    uniform2 = False
+            idx = np.array(flat, dtype=np.int64)
+            shares = self._caps_arr[idx] / self._counts_arr[idx]
+            if uniform2:
+                rates = shares.reshape(k, 2).min(axis=1)
+            else:
+                rates = np.minimum.reduceat(shares, np.array(offsets, dtype=np.int64))
+            for flow, rate in zip(touched, rates.tolist()):
+                delta = rate - flow.rate
+                if delta:
+                    for key in flow.links:
+                        link_rate[key] += delta
+                flow.rate = rate
+                t = flow.timer
+                if t is not None:
+                    cancel(t)
+                if rate > 0.0:
+                    timer = new_timeout(flow.remaining / rate)
+                    timer.callbacks.append(flow.cb)
+                    flow.timer = timer
+                else:
+                    flow.timer = None
+            return
         link_caps = self.link_caps
         link_flows = self.link_flows
-        link_rate = self.link_rate
         for flow in touched:
             links = flow.links
             if len(links) == 2:
@@ -206,8 +389,15 @@ class FluidNetwork:
                 for key in links:
                     link_rate[key] += delta
             flow.rate = rate
-            flow.gen += 1
-            self._arm(flow)
+            t = flow.timer
+            if t is not None:
+                cancel(t)
+            if rate > 0.0:
+                timer = new_timeout(flow.remaining / rate)
+                timer.callbacks.append(flow.cb)
+                flow.timer = timer
+            else:
+                flow.timer = None
 
     def _cancel_timer(self, flow: Flow) -> None:
         if flow.timer is not None:
@@ -220,24 +410,20 @@ class FluidNetwork:
             return
         horizon = flow.remaining / flow.rate
         timer = self.env.timeout(max(horizon, 0.0))
-        gen = flow.gen
-        timer.add_callback(lambda ev, f=flow, g=gen: self._on_timer(f, g))
+        timer.callbacks.append(flow.cb)
         flow.timer = timer
 
-    def _on_timer(self, flow: Flow, gen: int) -> None:
-        if gen != flow.gen or flow.fid not in self.flows:
+    def _on_timer(self, flow: Flow, ev) -> None:
+        if flow.timer is not ev or flow.fid not in self.flows:
             return  # superseded by a later rate change, or already finished
         flow.timer = None
         self._touch(flow)
         if flow.remaining > max(_FINISH_SLACK_BYTES, flow.rate * 1e-9):
             # Float drift: not quite done; re-arm for the residual.
-            flow.gen += 1
             self._arm(flow)
             return
         del self.flows[flow.fid]
-        for key in flow.links:
-            self.link_flows[key].discard(flow.fid)
-            self.link_rate[key] -= flow.rate
+        self._unlink(flow)
         self.completed += 1
         self._g_active.set(len(self.flows))
         flow.done.succeed()

@@ -253,6 +253,13 @@ class SimCluster:
         # from the NetTrace aggregates at snapshot time instead of being
         # counted per message.
         self._wire_histograms: dict[str, Any] = {}
+        # Per-model memo of the pure delay terms (WireModel is frozen, so
+        # every entry is a function of (model, nbytes) only). Keyed by
+        # id(model) with the model pinned in the entry so a recycled id
+        # can never alias another model's table. Entry layout:
+        # [model, {nbytes: serialization+latency}, bulk cap (B/s) or None,
+        #  {nbytes: post-transfer protocol+chunk delay}].
+        self._wire_delay_memo: dict[int, list] = {}
         env.metrics.on_snapshot(self._publish_metrics)
 
     def _publish_metrics(self) -> None:
@@ -309,9 +316,18 @@ class SimCluster:
         ls = self.link_state
         if not ls.path_up(src, dst):
             raise LinkDown(f"no path {src.name}->{dst.name}")
+        memo = self._wire_delay_memo
         if src is dst:
             lo = self._loopback
-            yield env.timeout(lo.protocol_latency(nbytes) + lo.serialization_time(nbytes))
+            entry = memo.get(id(lo))
+            if entry is None:
+                entry = memo[id(lo)] = [lo, {}, None, {}]
+            delay = entry[1].get(nbytes)
+            if delay is None:
+                delay = entry[1][nbytes] = (
+                    lo.protocol_latency(nbytes) + lo.serialization_time(nbytes)
+                )
+            yield env.timeout(delay)
             elapsed = env.now - start
             self.trace.record(lo, src, dst, nbytes, elapsed)
             return elapsed
@@ -337,21 +353,29 @@ class SimCluster:
         # key embeds the link-state generation) — a coarse but cheap
         # approximation of mid-flow rate renegotiation.
         factor = ls.slowdown(src, dst)
+        entry = memo.get(id(model))
+        if entry is None:
+            entry = memo[id(model)] = [model, {}, None, {}]
         if nbytes <= CONTROL_BYPASS_BYTES:
             # Control-sized messages interleave at packet granularity and
             # never queue behind bulk flows.
-            yield env.timeout(
-                (model.serialization_time(nbytes) + model.protocol_latency(nbytes))
-                * factor
-            )
+            delay = entry[1].get(nbytes)
+            if delay is None:
+                delay = entry[1][nbytes] = (
+                    model.serialization_time(nbytes)
+                    + model.protocol_latency(nbytes)
+                )
+            yield env.timeout(delay * factor)
         else:
             # Bulk payloads: flow-level fair sharing of the protocol stack's
             # effective bandwidth at both endpoints (see simnet.fluid). The
             # per-chunk stack cost is CPU/protocol work, charged on top.
-            cap = (
-                min(model.effective_bandwidth_Bps(), model.fabric.line_rate_Bps)
-                / factor
-            )
+            cap = entry[2]
+            if cap is None:
+                cap = entry[2] = min(
+                    model.effective_bandwidth_Bps(), model.fabric.line_rate_Bps
+                )
+            cap = cap / factor
             gen = ls.generation
             done = self.fluid.transfer(
                 [
@@ -361,13 +385,13 @@ class SimCluster:
                 nbytes,
             )
             yield done
-            yield env.timeout(
-                (
+            post = entry[3].get(nbytes)
+            if post is None:
+                post = entry[3][nbytes] = (
                     model.protocol_latency(nbytes)
                     + model.n_chunks(nbytes) * model.per_chunk_s
                 )
-                * factor
-            )
+            yield env.timeout(post * factor)
         if not ls.path_up(src, dst):
             # The receiver died while the message was in flight.
             raise LinkDown(f"{dst.name} failed before delivery from {src.name}")

@@ -606,6 +606,7 @@ class SparkSimCluster:
         # memo and the sample-trace cache keep process-global tallies, so
         # snapshot hooks publish deltas since cluster construction under
         # one ``cache.*`` namespace (surfaced via RunResult.metrics).
+        from repro.harness.runcache import run_cache_stats
         from repro.harness.tracecache import trace_cache_stats
         from repro.util.serialization import size_cache_stats
 
@@ -621,6 +622,19 @@ class SparkSimCluster:
             "bytes_written": m.counter("cache.trace.bytes_written"),
         }
         trace_base = trace_cache_stats()
+        # The run cache wraps whole cell simulations, so its traffic
+        # happens *around* cluster lifetimes (a warm cell never builds a
+        # cluster at all). Deltas since construction would always be
+        # zero; publish process-lifetime absolutes instead. Like
+        # cache.trace.*, these depend on cache temperature and are
+        # excluded from the figure-row metric census.
+        run_counters = {
+            "hits": m.counter("cache.run.hits"),
+            "misses": m.counter("cache.run.misses"),
+            "cell_runs": m.counter("cache.run.cell_runs"),
+            "bytes_read": m.counter("cache.run.bytes_read"),
+            "bytes_written": m.counter("cache.run.bytes_written"),
+        }
 
         def _publish_cache_stats() -> None:
             hits, misses = size_cache_stats()
@@ -632,6 +646,10 @@ class SparkSimCluster:
             base["hits"] = base["hits_mem"] + base["hits_disk"]
             for name, counter in trace_counters.items():
                 counter.value = float(stats[name] - base[name])
+            rstats = run_cache_stats()
+            rstats["hits"] = rstats["hits_mem"] + rstats["hits_disk"]
+            for name, counter in run_counters.items():
+                counter.value = float(rstats[name])
 
         m.on_snapshot(_publish_cache_stats)
 

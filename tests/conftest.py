@@ -1,0 +1,22 @@
+"""Shared tier-1 test configuration.
+
+The full-run result cache (``repro.harness.runcache``) defaults to *on*
+and stores under ``results/.runcache``. Tests must never read entries
+left by benchmarks, examples, or earlier test runs — a warm cache would
+let a cell skip simulation and quietly hollow out whatever the test was
+proving about execution. Every test gets a private, cold store; tests
+that exercise the cache itself opt in to warmth explicitly by priming
+within the test.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_run_cache(tmp_path, monkeypatch):
+    from repro.harness import runcache
+
+    monkeypatch.setenv("REPRO_RUN_CACHE_DIR", str(tmp_path / "runcache"))
+    runcache.clear_memory_cache()
+    yield
+    runcache.clear_memory_cache()

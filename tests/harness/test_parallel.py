@@ -70,7 +70,10 @@ class TestJobsDeterminism:
             for transport in ("nio", "mpi-opt")
         ]
 
-    def test_rows_identical_across_jobs_counts(self, specs):
+    def test_rows_identical_across_jobs_counts(self, specs, monkeypatch):
+        # Run-cache off: the point is that *executions* agree across
+        # worker counts, not that the second sweep replays the first.
+        monkeypatch.setenv("REPRO_RUN_CACHE", "0")
         serial = run_ohb_cells(specs, jobs=1)
         fanned = run_ohb_cells(specs, jobs=4)
         assert [_row(c) for c in serial] == [_row(c) for c in fanned]

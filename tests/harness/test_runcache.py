@@ -1,0 +1,249 @@
+"""Full-run result cache: correctness of the two-tier store.
+
+Like the sample-trace cache, the run cache is an accelerator, never a
+correctness dependency: everything here asserts that cell results are
+identical with the cache cold, warm (memo and disk), disabled, corrupted,
+keyed by a stale code fingerprint, or shared across worker processes.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.harness import runcache
+from repro.harness.parallel import run_ohb_cells
+from repro.harness.runcache import (
+    RUN_SCHEMA,
+    cache_dir,
+    cache_enabled,
+    code_fingerprint,
+    get_or_run,
+    run_key,
+)
+from repro.util.units import GiB
+
+SPEC = ("GroupByTest", 2, 1 * GiB, "nio", 0.05, "Frontera")
+
+
+@pytest.fixture(autouse=True)
+def cold_env(monkeypatch):
+    """The shared tests/conftest fixture already isolates the store; also
+    guarantee the enable flag is unset so cache_enabled() is the default."""
+    monkeypatch.delenv("REPRO_RUN_CACHE", raising=False)
+
+
+def _canon(cell):
+    return (
+        cell.workload,
+        cell.n_workers,
+        cell.transport,
+        repr(cell.result.total_seconds),
+        repr(sorted(cell.result.stage_seconds.items())),
+    )
+
+
+def _entry_paths():
+    return sorted(cache_dir().glob("*.pkl"))
+
+
+class TestEnableSwitch:
+    def test_enabled_by_default(self):
+        assert cache_enabled()
+
+    def test_disable_via_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RUN_CACHE", "0")
+        assert not cache_enabled()
+        calls = []
+        out = get_or_run("fake", ("spec",), lambda: calls.append(1) or "x")
+        assert out == "x" and calls == [1]
+        get_or_run("fake", ("spec",), lambda: calls.append(1) or "x")
+        assert calls == [1, 1]  # every call re-runs
+        assert not _entry_paths()
+
+
+class TestKeying:
+    def test_key_is_deterministic_and_spec_sensitive(self):
+        k1 = run_key("ohb", SPEC)
+        assert k1 == run_key("ohb", SPEC)
+        assert k1 != run_key("hibench", SPEC)
+        assert k1 != run_key("ohb", SPEC[:-1] + ("Stampede2",))
+
+    def test_key_covers_live_patchable_constants(self, monkeypatch):
+        # A what-if truth resim patches poll costs in place; patched and
+        # unpatched runs must never share an address.
+        from repro.core import mpi_netty
+
+        k1 = run_key("ohb", SPEC)
+        monkeypatch.setattr(mpi_netty, "SELECT_NOW_COST_S",
+                            mpi_netty.SELECT_NOW_COST_S * 2)
+        assert run_key("ohb", SPEC) != k1
+
+    def test_key_covers_code_fingerprint(self, monkeypatch):
+        k1 = run_key("ohb", SPEC)
+        monkeypatch.setattr(runcache, "_FINGERPRINT", "0" * 64)
+        assert run_key("ohb", SPEC) != k1
+
+    def test_fingerprint_tracks_source_edits(self, tmp_path, monkeypatch):
+        (tmp_path / "a.py").write_text("x = 1\n")
+        monkeypatch.setattr(runcache, "_source_root", lambda: tmp_path)
+        runcache._reset_fingerprint_cache()
+        f1 = code_fingerprint()
+        runcache._reset_fingerprint_cache()
+        assert code_fingerprint() == f1  # stable while sources are
+        (tmp_path / "a.py").write_text("x = 2\n")
+        runcache._reset_fingerprint_cache()
+        f2 = code_fingerprint()
+        assert f2 != f1
+        runcache._reset_fingerprint_cache()
+
+
+class TestTiers:
+    def test_memo_then_disk_then_run(self):
+        calls = []
+
+        def runner():
+            calls.append(1)
+            return {"rows": [1, 2, 3]}
+
+        r1 = get_or_run("fake", ("tiers",), runner)
+        assert calls == [1]
+        # Memo hit: no new execution, equal value, never the same object.
+        r2 = get_or_run("fake", ("tiers",), runner)
+        assert calls == [1] and r2 == r1 and r2 is not r1
+        # Disk hit after a memo wipe (a fresh worker process).
+        runcache.clear_memory_cache()
+        r3 = get_or_run("fake", ("tiers",), runner)
+        assert calls == [1] and r3 == r1
+        assert len(_entry_paths()) == 1
+
+    def test_stats_account_hits_and_misses(self):
+        base = runcache.run_cache_stats()
+        get_or_run("fake", ("stats",), lambda: "v")
+        get_or_run("fake", ("stats",), lambda: "v")
+        runcache.clear_memory_cache()
+        get_or_run("fake", ("stats",), lambda: "v")
+        stats = runcache.run_cache_stats()
+        assert stats["misses"] == base["misses"] + 1
+        assert stats["cell_runs"] == base["cell_runs"] + 1
+        assert stats["hits_mem"] == base["hits_mem"] + 1
+        assert stats["hits_disk"] == base["hits_disk"] + 1
+
+    def test_unpicklable_result_runs_uncached(self):
+        calls = []
+
+        def runner():
+            calls.append(1)
+            return lambda: None  # locals don't pickle
+
+        base_errors = runcache.run_cache_stats()["errors"]
+        out = get_or_run("fake", ("unpicklable",), runner)
+        assert callable(out) and calls == [1]
+        assert runcache.run_cache_stats()["errors"] == base_errors + 1
+        assert not _entry_paths()
+        # Next call runs again — nothing was cached.
+        get_or_run("fake", ("unpicklable",), runner)
+        assert calls == [1, 1]
+
+
+class TestCellRows:
+    def test_cold_warm_disabled_rows_identical(self, monkeypatch):
+        cold = [_canon(c) for c in run_ohb_cells([SPEC], jobs=1)]
+        assert len(_entry_paths()) == 1
+        # Warm memo.
+        memo = [_canon(c) for c in run_ohb_cells([SPEC], jobs=1)]
+        # Warm disk (fresh-process shape: cold memo, surviving store).
+        runcache.clear_memory_cache()
+        disk = [_canon(c) for c in run_ohb_cells([SPEC], jobs=1)]
+        # Disabled: a genuine re-simulation.
+        monkeypatch.setenv("REPRO_RUN_CACHE", "0")
+        off = [_canon(c) for c in run_ohb_cells([SPEC], jobs=1)]
+        assert cold == memo == disk == off
+
+    def test_warm_hit_skips_simulation(self):
+        run_ohb_cells([SPEC], jobs=1)
+        base = runcache.run_cache_stats()["cell_runs"]
+        runcache.clear_memory_cache()
+        run_ohb_cells([SPEC], jobs=1)
+        assert runcache.run_cache_stats()["cell_runs"] == base
+
+    def test_pool_workers_share_parent_seeded_store(self):
+        specs = [SPEC, ("SortByTest", 2, 1 * GiB, "mpi-opt", 0.05, "Frontera")]
+        serial = [_canon(c) for c in run_ohb_cells(specs, jobs=1)]
+        assert len(_entry_paths()) == 2
+        fanned = [_canon(c) for c in run_ohb_cells(specs, jobs=4)]
+        assert serial == fanned
+
+
+class TestCorruption:
+    def _prime(self):
+        calls = []
+
+        def runner():
+            calls.append(1)
+            return {"payload": 42}
+
+        get_or_run("fake", ("corrupt",), runner)
+        runcache.clear_memory_cache()
+        return calls, runner
+
+    def test_truncated_entry_recomputes_and_rewrites(self):
+        calls, runner = self._prime()
+        (path,) = _entry_paths()
+        path.write_bytes(path.read_bytes()[: len(path.read_bytes()) // 3])
+        base_err = runcache.run_cache_stats()["errors"]
+        out = get_or_run("fake", ("corrupt",), runner)
+        assert out == {"payload": 42} and calls == [1, 1]
+        assert runcache.run_cache_stats()["errors"] == base_err + 1
+        # The entry was rewritten: a fresh cold process now hits disk.
+        runcache.clear_memory_cache()
+        get_or_run("fake", ("corrupt",), runner)
+        assert calls == [1, 1]
+
+    def test_garbage_bytes_recompute(self):
+        calls, runner = self._prime()
+        (path,) = _entry_paths()
+        path.write_bytes(b"not a pickle at all")
+        out = get_or_run("fake", ("corrupt",), runner)
+        assert out == {"payload": 42} and calls == [1, 1]
+
+    def test_miskeyed_entry_recomputes(self):
+        # An entry whose recorded key disagrees with its address (e.g. a
+        # hand-copied file) must be treated as a miss, not trusted.
+        calls, runner = self._prime()
+        (path,) = _entry_paths()
+        payload = {
+            "schema": RUN_SCHEMA,
+            "key": "0" * 64,
+            "result": pickle.dumps({"payload": 42}),
+        }
+        path.write_bytes(pickle.dumps(payload))
+        out = get_or_run("fake", ("corrupt",), runner)
+        assert out == {"payload": 42} and calls == [1, 1]
+
+    def test_wrong_schema_recomputes(self):
+        calls, runner = self._prime()
+        (path,) = _entry_paths()
+        blob = path.read_bytes()
+        payload = pickle.loads(blob)
+        payload["schema"] = "run-result/0"
+        path.write_bytes(pickle.dumps(payload))
+        out = get_or_run("fake", ("corrupt",), runner)
+        assert out == {"payload": 42} and calls == [1, 1]
+
+    def test_stale_code_fingerprint_entry_is_unreachable(self, monkeypatch):
+        # Content addressing makes stale entries unreachable rather than
+        # detected: after a source change the old entry's address simply
+        # never comes up again, and the fresh run writes a new entry.
+        calls, runner = self._prime()
+        assert len(_entry_paths()) == 1
+        monkeypatch.setattr(runcache, "_FINGERPRINT", "f" * 64)
+        out = get_or_run("fake", ("corrupt",), runner)
+        assert out == {"payload": 42} and calls == [1, 1]
+        assert len(_entry_paths()) == 2  # old entry intact, new one added
+
+    def test_clear_disk_cache_removes_entries(self):
+        self._prime()
+        assert runcache.clear_disk_cache() == 1
+        assert not _entry_paths()

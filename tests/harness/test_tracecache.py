@@ -205,10 +205,13 @@ class TestCorruption:
 
 
 class TestParallelWorkers:
-    def test_jobs1_vs_jobs4_rows_identical_shared_disk_cache(self):
+    def test_jobs1_vs_jobs4_rows_identical_shared_disk_cache(self, monkeypatch):
         # The disk tier is what lets pool workers (fresh processes, cold
         # memos) skip sample re-execution; rows must be identical to the
-        # serial run either way.
+        # serial run either way. Run-cache off so the jobs=4 sweep really
+        # simulates (a warm run cache would skip execution entirely and
+        # prove nothing about the trace tier).
+        monkeypatch.setenv("REPRO_RUN_CACHE", "0")
         specs = [
             ("GroupByTest", 2, 1 * GiB, "nio", 0.05, "Frontera"),
             ("GroupByTest", 2, 1 * GiB, "mpi-opt", 0.05, "Frontera"),

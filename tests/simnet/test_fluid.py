@@ -157,6 +157,102 @@ class TestConservation:
             assert sizes[earlier] <= sizes[later] * (1 + 1e-6)
 
 
+class TestPerNetworkFids:
+    def test_two_networks_allocate_identical_fids(self):
+        # Flow ids are per-network, not process-global: building a second
+        # cluster in the same process must see the same fid sequence, so
+        # sorted(fids) timer orders (and thus rows) match across reruns.
+        fids = []
+        for _ in range(2):
+            env = SimEngine()
+            net = FluidNetwork(env)
+            run_transfers(
+                env,
+                net,
+                [([("l", 100.0)], 100.0, 0.0), ([("l", 100.0)], 200.0, 1.0)],
+            )
+            fids.append([f for f in range(net._next_fid)])
+            assert net._next_fid == 2
+        assert fids[0] == fids[1]
+
+    def test_fid_sequence_dense_from_zero(self, env):
+        net = FluidNetwork(env)
+        done = [net.transfer([("l", 100.0)], 10.0) for _ in range(3)]
+        assert sorted(net.flows) == [0, 1, 2]
+        env.run()
+        assert all(d.triggered for d in done)
+
+
+class TestAffectedExactness:
+    """Completion/abort re-rates must hit exactly the sharing flows."""
+
+    def _record_rerates(self, net):
+        batches = []
+        orig = net._rerate
+
+        def spy(fids):
+            batches.append(sorted(fids))
+            orig(fids)
+
+        net._rerate = spy
+        return batches
+
+    def test_completion_rerates_exactly_sharers(self, env):
+        net = FluidNetwork(env)
+        net.transfer([("shared", 100.0)], 100.0)  # fid 0, finishes t=2
+        net.transfer([("shared", 100.0)], 500.0)  # fid 1, sharer
+        net.transfer([("other", 100.0)], 500.0)  # fid 2, unrelated
+        batches = self._record_rerates(net)
+        env.run()
+        # fid 0's completion frees "shared": only fid 1 is re-rated —
+        # never the flow on the untouched "other" link.
+        assert [1] in batches
+        assert all(2 not in b or 1 not in b for b in batches)
+
+    def test_abort_rerates_exactly_sharers(self, env):
+        net = FluidNetwork(env)
+        d0 = net.transfer([("dead", 100.0), ("shared", 100.0)], 1e9)  # victim
+        net.transfer([("shared", 100.0)], 1e9)  # survivor, shares a link
+        net.transfer([("other", 100.0)], 1e9)  # unrelated
+        d0.add_callback(lambda ev: None)  # absorb the failure
+        batches = self._record_rerates(net)
+        n = net.abort_flows(lambda k: k == "dead", RuntimeError)
+        assert n == 1
+        # Exactly the surviving sharer re-rates; the victim is already
+        # unlinked and the unrelated flow is untouched.
+        assert batches == [[1]]
+
+    def test_single_link_affected_is_exact(self, env):
+        net = FluidNetwork(env)
+        net.transfer([("a", 100.0)], 50.0)
+        net.transfer([("a", 100.0)], 50.0)
+        net.transfer([("b", 100.0)], 50.0)
+        assert net._affected(("a",)) == {0, 1}
+        assert net._affected(("b",)) == {2}
+        assert net._affected(("a", "b")) == {0, 1, 2}
+        assert net._affected(("missing",)) == set()
+        assert net._affected(("a", "missing")) == {0, 1}
+        assert net._affected(("missing", "nope")) == set()
+
+
+class TestRerateCounters:
+    def test_counters_published_lazily_and_excluded_names(self, env):
+        net = FluidNetwork(env)
+        net.transfer([("l", 100.0)], 100.0)
+        env.run()
+        snap = env.metrics.snapshot()
+        names = snap.names("simnet.fluid.rerate.*")
+        assert names == [
+            "simnet.fluid.rerate.calls",
+            "simnet.fluid.rerate.flows",
+            "simnet.fluid.rerate.max_batch",
+            "simnet.fluid.rerate.vector_batches",
+        ]
+        assert snap.counters["simnet.fluid.rerate.calls"] >= 1
+        assert snap.counters["simnet.fluid.rerate.flows"] >= 1
+        assert snap.counters["simnet.fluid.rerate.max_batch"] >= 1
+
+
 class TestRunningRateSum:
     def test_utilization_tracks_completions_and_aborts(self, env):
         # utilization() reads a running per-link rate sum; it must agree
