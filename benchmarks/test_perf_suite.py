@@ -17,8 +17,10 @@ import os
 import pytest
 
 from benchmarks.conftest import RESULTS_DIR
+from repro.harness import ledger
 from repro.harness.perfbench import (
     PINNED_CELLS,
+    blame_failing_cells,
     PRE_PR_BASELINE,
     PRE_VEC_BASELINE,
     RUN_CACHE_PAIRS,
@@ -43,6 +45,9 @@ def test_perf_suite_writes_bench_json(payload):
     RESULTS_DIR.mkdir(exist_ok=True)
     _BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     assert _BENCH_PATH.exists()
+    # Ledger the run (append-only history; REPRO_LEDGER=0 disables).
+    # Observation only: the BENCH file above is never modified.
+    ledger.record_perf(payload)
 
 
 def test_all_pinned_cells_ran(payload):
@@ -144,4 +149,15 @@ def test_no_events_per_sec_regression_vs_committed(payload):
         pytest.skip("perf gate disabled; set REPRO_PERF_GATE=1 to enable")
     if _COMMITTED is None:
         pytest.skip("no committed results/BENCH_perf.json to compare against")
-    assert regressions(payload, _COMMITTED, threshold=0.30) == []
+    failures = regressions(payload, _COMMITTED, threshold=0.30)
+    if failures:
+        # Explain before failing: re-record each offending transport's
+        # blame proxy cell, diff it against the committed baseline
+        # recording, and leave the HTML blame reports in results/ for CI
+        # to upload. A host-side slowdown diffs to the zero identity —
+        # which the report states, and is itself the diagnosis.
+        reports = blame_failing_cells(failures, out_dir=RESULTS_DIR)
+        pytest.fail(
+            "events/sec regressions: " + "; ".join(failures)
+            + (" | blame reports: " + ", ".join(map(str, reports)) if reports else "")
+        )

@@ -163,9 +163,27 @@ def run_jobserver_cell(spec: tuple) -> Any:
     return get_or_run("jobserver", canon, _run)
 
 
+def run_flight_cell(spec: tuple) -> Any:
+    """Worker: one causal OHB cell, returning its flight recording.
+
+    ``spec`` is the 7-tuple :func:`run_ohb_cell` spec with ``obs_causal``
+    forced on; the return value is the run's
+    :class:`~repro.obs.flightrec.FlightRecorder` (picklable), which is
+    what baseline recording and blame reports need.
+    """
+    spec = tuple(spec[:6]) + (True,)
+    cell = run_ohb_cell(spec)
+    return cell.result.flight
+
+
 def run_ohb_cells(specs: Iterable[tuple], jobs: int | None = None) -> list[Any]:
     """Run OHB cell specs, preserving spec order in the result list."""
     return parallel_map(run_ohb_cell, list(specs), jobs)
+
+
+def run_flight_cells(specs: Iterable[tuple], jobs: int | None = None) -> list[Any]:
+    """Run causal cell specs, returning flight recordings in spec order."""
+    return parallel_map(run_flight_cell, list(specs), jobs)
 
 
 def run_hibench_cells(specs: Iterable[tuple], jobs: int | None = None) -> list[Any]:

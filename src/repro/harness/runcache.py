@@ -132,6 +132,7 @@ def live_constants() -> tuple:
     """
     from repro.core import mpi_netty
     from repro.spark import deploy
+    from repro.transports.mpi_basic import MpiBasicTransport
 
     return (
         ("mpi_netty.SELECT_NOW_COST_S", mpi_netty.SELECT_NOW_COST_S),
@@ -139,6 +140,10 @@ def live_constants() -> tuple:
         ("mpi_netty.BASIC_POLL_PERIOD_S", mpi_netty.BASIC_POLL_PERIOD_S),
         ("deploy.RAMDISK_WRITE_BPS", deploy.RAMDISK_WRITE_BPS),
         ("deploy.RAMDISK_READ_BPS", deploy.RAMDISK_READ_BPS),
+        (
+            "mpi_basic.MpiBasicTransport.compute_inflation",
+            MpiBasicTransport.compute_inflation,
+        ),
     )
 
 

@@ -25,12 +25,22 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.obs.causal import NULL_CAUSAL, CausalTracer, NullCausal, TraceContext
-from repro.obs.critpath import CriticalPathReport, StageCriticalPath, analyze, critical_path
+from repro.obs.critpath import (
+    CriticalPathReport,
+    StageCriticalPath,
+    analyze,
+    critical_path,
+    stage_bounds,
+)
+from repro.obs.diff import DiffReport, StageDiff, StructuralNode, diff_runs
 from repro.obs.flightrec import FlightEvent, FlightRecorder
 from repro.obs.report_html import (
+    diff_section,
     planner_section,
+    render_diff_page,
     render_planner_page,
     render_report,
+    write_diff_report,
     write_report,
 )
 from repro.obs.registry import (
@@ -77,9 +87,17 @@ __all__ = [
     "StageCriticalPath",
     "analyze",
     "critical_path",
+    "stage_bounds",
+    "DiffReport",
+    "StageDiff",
+    "StructuralNode",
+    "diff_runs",
+    "diff_section",
     "planner_section",
+    "render_diff_page",
     "render_planner_page",
     "render_report",
+    "write_diff_report",
     "write_report",
     "Perturbation",
     "Prediction",

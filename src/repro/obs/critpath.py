@@ -118,6 +118,30 @@ def _stage_of(task_label: str) -> str:
     return task_label.rsplit("-task", 1)[0] if "-task" in task_label else task_label
 
 
+def stage_bounds(flight: "FlightRecorder") -> dict[str, tuple[float, float, int]]:
+    """``stage label -> (start_t, end_t, n_tasks)`` from stage event pairs.
+
+    Walks ``stage.start`` / ``stage.finish`` pairs in record order and
+    keeps first-start stage order — the alignment key the diff engine
+    (:mod:`repro.obs.diff`) matches two recordings on.  ``n_tasks`` is
+    taken from the start event (0 when the recording predates the attr);
+    stages whose finish never arrived (crashed runs) are omitted, exactly
+    as :func:`analyze` omits their unfinished tasks.
+    """
+    starts: dict[str, tuple[float, int]] = {}
+    bounds: dict[str, tuple[float, float, int]] = {}
+    for ev in flight.events:
+        if ev.name == "stage.start":
+            label = ev.attrs.get("stage", "?")
+            starts[label] = (ev.t, int(ev.attrs.get("n_tasks", 0)))
+        elif ev.name == "stage.finish":
+            label = ev.attrs.get("stage", "?")
+            if label in starts:
+                t0, n_tasks = starts.pop(label)
+                bounds[label] = (t0, ev.t, n_tasks)
+    return bounds
+
+
 def analyze(flight: "FlightRecorder", transport: str) -> CriticalPathReport:
     """Walk the causal DAG of a finished run; one critical path per stage."""
     sends: dict[int, tuple[float, int]] = {}  # span -> (t, nbytes)

@@ -165,15 +165,51 @@ class FlightRecorder:
         return "\n".join(lines) + ("\n" if lines else "")
 
     def write(self, path: str) -> str:
-        with open(path, "w") as fh:
-            fh.write(self.to_jsonl())
+        """Write the JSONL export; a ``.gz`` suffix gzip-compresses it.
+
+        Compression is what makes committed baseline recordings (the diff
+        engine's blame references under ``baselines/``) cheap to keep in
+        the tree; ``mtime=0`` keeps the archive byte-deterministic so two
+        recordings of the same seeded cell produce identical files.
+        """
+        if str(path).endswith(".gz"):
+            import gzip
+
+            with open(path, "wb") as raw:
+                # filename="" keeps the FNAME header field out — with a
+                # bare fileobj GzipFile would embed raw.name, making the
+                # bytes depend on where the recording is written.
+                with gzip.GzipFile(
+                    filename="", fileobj=raw, mode="wb", mtime=0
+                ) as fh:
+                    fh.write(self.to_jsonl().encode("utf-8"))
+        else:
+            with open(path, "w") as fh:
+                fh.write(self.to_jsonl())
         return path
 
     @staticmethod
-    def from_events(events: Iterable[FlightEvent]) -> "FlightRecorder":
-        """Rebuild a recorder around existing events (analysis helpers)."""
-        rec = FlightRecorder()
+    def from_events(
+        events: Iterable[FlightEvent],
+        capacity: int | None = None,
+        dropped: int = 0,
+    ) -> "FlightRecorder":
+        """Rebuild a recorder around existing events (analysis helpers).
+
+        The capacity defaults to whichever is larger of
+        ``DEFAULT_CAPACITY`` and the event count, so rebuilding a log
+        that outgrew the default bound never silently re-evicts its
+        head.  ``dropped`` carries an original recorder's eviction count
+        through export/import round-trips.
+        """
+        events = list(events)
+        if capacity is None:
+            capacity = max(DEFAULT_CAPACITY, len(events))
+        rec = FlightRecorder(capacity=capacity)
         rec.events.extend(events)
+        # An explicit capacity smaller than the log re-evicts the head;
+        # that must show in the counter, never happen silently.
+        rec.dropped = int(dropped) + max(0, len(events) - capacity)
         return rec
 
     # -- import ---------------------------------------------------------------
@@ -208,6 +244,14 @@ class FlightRecorder:
 
     @staticmethod
     def load_jsonl(path: str) -> "FlightRecorder":
-        """Read a :meth:`write` / :meth:`to_jsonl` export back from disk."""
+        """Read a :meth:`write` / :meth:`to_jsonl` export back from disk.
+
+        Transparently decompresses ``.gz`` exports (committed baselines).
+        """
+        if str(path).endswith(".gz"):
+            import gzip
+
+            with gzip.open(path, "rt", encoding="utf-8") as fh:
+                return FlightRecorder.from_jsonl(fh.read())
         with open(path) as fh:
             return FlightRecorder.from_jsonl(fh.read())

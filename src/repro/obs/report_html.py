@@ -354,6 +354,245 @@ def render_planner_page(
     )
 
 
+def _gantt_pair_svg(
+    flight_a: "FlightRecorder",
+    flight_b: "FlightRecorder",
+    a_label: str,
+    b_label: str,
+    width: int = 920,
+) -> str:
+    """Side-by-side stage Gantt: two thin bars per stage row, A over B.
+
+    Each run is normalized to its own t=0 and both share one time scale,
+    so a stage that slid or stretched is visible directly; stages present
+    on one side only render a single bar (the structural mismatch).
+    """
+    from repro.obs.critpath import stage_bounds
+
+    bounds_a = stage_bounds(flight_a)
+    bounds_b = stage_bounds(flight_b)
+    labels = list(bounds_a) + [s for s in bounds_b if s not in bounds_a]
+    if not labels:
+        return "<p class='note'>no stage events in either flight log</p>"
+    t0_a = min((b[0] for b in bounds_a.values()), default=0.0)
+    t0_b = min((b[0] for b in bounds_b.values()), default=0.0)
+    span = max(
+        max((b[1] - t0_a for b in bounds_a.values()), default=0.0),
+        max((b[1] - t0_b for b in bounds_b.values()), default=0.0),
+        1e-12,
+    )
+    row_h, bar_h, pad_l, pad_t = 30, 10, 190, 24
+    h = pad_t + row_h * len(labels) + 22
+    sx = (width - pad_l - 12) / span
+    colors = {"a": "#4c78a8", "b": "#f58518"}
+    parts = [
+        f"<svg width='{width}' height='{h}' "
+        f"xmlns='http://www.w3.org/2000/svg'>",
+        f"<text x='{pad_l}' y='14' font-size='11' fill='{colors['a']}'>"
+        f"■ {_esc(a_label)}</text>",
+        f"<text x='{pad_l + 140}' y='14' font-size='11' fill='{colors['b']}'>"
+        f"■ {_esc(b_label)}</text>",
+    ]
+    for i, label in enumerate(labels):
+        y = pad_t + i * row_h
+        parts.append(
+            f"<text x='{pad_l - 8}' y='{y + 16}' text-anchor='end' "
+            f"font-size='11'>{_esc(label)}</text>"
+        )
+        for key, bounds, t0, dy in (
+            ("a", bounds_a, t0_a, 2), ("b", bounds_b, t0_b, 4 + bar_h),
+        ):
+            if label not in bounds:
+                continue
+            s, e, _n = bounds[label]
+            x = pad_l + (s - t0) * sx
+            w = max((e - s) * sx, 1.5)
+            parts.append(
+                f"<rect x='{x:.1f}' y='{y + dy}' width='{w:.1f}' "
+                f"height='{bar_h}' fill='{colors[key]}' rx='2'>"
+                f"<title>{_esc(label)} [{key.upper()}]: {s - t0:.4f}s → "
+                f"{e - t0:.4f}s ({e - s:.4f}s)</title></rect>"
+            )
+    parts.append(
+        f"<text x='{pad_l}' y='{h - 4}' font-size='10' fill='#666'>0s</text>"
+        f"<text x='{width - 12}' y='{h - 4}' font-size='10' fill='#666' "
+        f"text-anchor='end'>{span:.4f}s</text></svg>"
+    )
+    return "".join(parts)
+
+
+def _waterfall_svg(diff, width: int = 920) -> str:
+    """Delta waterfall: each attribution term walks 0 → wall delta.
+
+    Bars run left-to-right in blame order (largest |Δ| first); red bars
+    push B slower, green bars pull it faster, and the grey terminal bar
+    is the measured wall delta the terms provably sum to.
+    """
+    contribs = diff.contributions()
+    if not contribs:
+        return "<p class='note'>identical runs: nothing to attribute</p>"
+    terms = [(name, delta) for _kind, name, delta in contribs]
+    terms.append(("wall delta", diff.wall_delta_s))
+    lo, hi, cum = 0.0, 0.0, 0.0
+    for name, delta in terms[:-1]:
+        cum += delta
+        lo, hi = min(lo, cum), max(hi, cum)
+    lo, hi = min(lo, diff.wall_delta_s, 0.0), max(hi, diff.wall_delta_s, 0.0)
+    span = max(hi - lo, 1e-12)
+    row_h, pad_l, pad_t = 26, 190, 8
+    h = pad_t * 2 + row_h * len(terms) + 18
+    sx = (width - pad_l - 12) / span
+
+    def X(v: float) -> float:
+        return pad_l + (v - lo) * sx
+
+    parts = [
+        f"<svg width='{width}' height='{h}' "
+        f"xmlns='http://www.w3.org/2000/svg'>",
+        f"<line x1='{X(0):.1f}' y1='{pad_t}' x2='{X(0):.1f}' "
+        f"y2='{h - 18}' stroke='#999' stroke-dasharray='3 3'/>",
+    ]
+    cum = 0.0
+    for i, (name, delta) in enumerate(terms):
+        y = pad_t + i * row_h
+        last = i == len(terms) - 1
+        x0, x1 = (0.0, delta) if last else (cum, cum + delta)
+        if not last:
+            cum += delta
+        color = "#888" if last else ("#e45756" if delta > 0 else "#54a24b")
+        parts.append(
+            f"<text x='{pad_l - 8}' y='{y + 15}' text-anchor='end' "
+            f"font-size='11'>{_esc(name)}</text>"
+        )
+        parts.append(
+            f"<rect x='{X(min(x0, x1)):.1f}' y='{y + 4}' "
+            f"width='{max(abs(x1 - x0) * sx, 1):.1f}' height='{row_h - 10}' "
+            f"fill='{color}' rx='2'><title>{_esc(name)}: {delta:+.4f}s"
+            f"</title></rect>"
+        )
+    parts.append(
+        f"<text x='{pad_l}' y='{h - 4}' font-size='10' fill='#666'>"
+        f"{lo:+.4f}s</text>"
+        f"<text x='{width - 12}' y='{h - 4}' font-size='10' fill='#666' "
+        f"text-anchor='end'>{hi:+.4f}s</text></svg>"
+    )
+    return "".join(parts)
+
+
+def _diff_table(diff) -> str:
+    """Per-stage walls, per-segment deltas and residuals."""
+    head = (
+        "<tr><th class='l'>stage</th><th>a wall</th><th>b wall</th>"
+        "<th>Δ</th>"
+        + "".join(f"<th>Δ {_esc(seg)}</th>" for seg in SEGMENTS)
+        + "<th>residual</th></tr>"
+    )
+    rows = []
+    for s in diff.stages:
+        rows.append(
+            f"<tr><td class='l'>{_esc(s.stage)}</td>"
+            f"<td>{s.a_wall_s:.4f}</td><td>{s.b_wall_s:.4f}</td>"
+            f"<td>{s.delta_s:+.4f}</td>"
+            + "".join(
+                f"<td>{s.segment_delta(seg):+.4f}</td>" for seg in SEGMENTS
+            )
+            + f"<td>{s.residual_s:+.4f}</td></tr>"
+        )
+    rows.append(
+        "<tr><th class='l'>TOTAL</th>"
+        f"<th>{diff.a_wall_s:.4f}</th><th>{diff.b_wall_s:.4f}</th>"
+        f"<th>{diff.wall_delta_s:+.4f}</th>"
+        + "".join(
+            f"<th>{diff.segment_delta(seg):+.4f}</th>" for seg in SEGMENTS
+        )
+        + f"<th>{diff.residual_s:+.4f}</th></tr>"
+    )
+    return f"<table>{head}{''.join(rows)}</table>"
+
+
+def diff_section(
+    diff,
+    flight_a: "FlightRecorder | None" = None,
+    flight_b: "FlightRecorder | None" = None,
+) -> str:
+    """The blame-report fragment for one :class:`~repro.obs.diff.DiffReport`."""
+    body = [
+        f"<p><b>{_esc(diff.a_label)}</b> [{_esc(diff.transport_a)}] "
+        f"{diff.a_wall_s:.4f}s → <b>{_esc(diff.b_label)}</b> "
+        f"[{_esc(diff.transport_b)}] {diff.b_wall_s:.4f}s · wall delta "
+        f"<b>{diff.wall_delta_s:+.4f}s</b></p>"
+    ]
+    mism = diff.meta_mismatches()
+    if mism:
+        body.append(
+            "<p class='note'>meta drift: "
+            + " · ".join(
+                f"{_esc(k)} {_esc(a)} → {_esc(b)}" for k, (a, b) in mism.items()
+            )
+            + "</p>"
+        )
+    nodes = list(diff.structural) + [n for s in diff.stages for n in s.nodes]
+    if nodes:
+        body.append(
+            "<p><b>structural mismatches</b></p><ul>"
+            + "".join(
+                f"<li>[{_esc(n.kind)}] {_esc(n.stage)}: {_esc(n.detail)}"
+                + (f" ({n.delta_s:+.4f}s)" if n.delta_s else "")
+                + "</li>"
+                for n in nodes
+            )
+            + "</ul>"
+        )
+    if flight_a is not None and flight_b is not None:
+        body.append(
+            "<h3>stage Gantt (side by side)</h3>"
+            + _gantt_pair_svg(flight_a, flight_b, diff.a_label, diff.b_label)
+        )
+    body.append("<h3>delta waterfall</h3>" + _waterfall_svg(diff))
+    body.append("<h3>per-stage attribution</h3>" + _diff_table(diff))
+    top = diff.top_contributor()
+    if top is not None:
+        body.append(
+            f"<p>top contributor: <b>{_esc(top)}</b> — attribution terms "
+            "sum to the measured wall delta (DESIGN.md §16 for the "
+            "residual contract).</p>"
+        )
+    return "".join(body)
+
+
+def render_diff_page(
+    diff,
+    flight_a: "FlightRecorder | None" = None,
+    flight_b: "FlightRecorder | None" = None,
+    title: str = "differential run analysis",
+) -> str:
+    """A standalone blame-report page for one run diff.
+
+    This is the artifact CI uploads when the perf gate fails: the
+    side-by-side stage Gantt, the per-segment delta waterfall and the
+    attribution table, self-contained in one HTML file.
+    """
+    return (
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>"
+        f"<title>{_esc(title)}</title><style>{_CSS}</style></head>"
+        f"<body><h1>{_esc(title)}</h1>"
+        f"{diff_section(diff, flight_a, flight_b)}</body></html>"
+    )
+
+
+def write_diff_report(
+    path: str,
+    diff,
+    flight_a: "FlightRecorder | None" = None,
+    flight_b: "FlightRecorder | None" = None,
+    title: str = "differential run analysis",
+) -> str:
+    """Render and write the blame page; returns ``path`` for chaining."""
+    with open(path, "w") as fh:
+        fh.write(render_diff_page(diff, flight_a, flight_b, title=title))
+    return path
+
+
 def render_report(
     runs: Iterable[tuple["RunResult", CriticalPathReport]],
     title: str = "repro run report",

@@ -867,7 +867,9 @@ class SparkSimCluster:
         if causal.enabled:
             # Self-describing trace header: everything the what-if replay
             # engine needs to rebuild its model from an exported JSONL log
-            # (repro.obs.whatif) without the live cluster object.
+            # (repro.obs.whatif) without the live cluster object, plus the
+            # provenance keys the diff engine (repro.obs.diff) aligns and
+            # sanity-checks two recordings on (seed, stage/task census).
             mpi_world = getattr(self.transport, "mpi_world", None)
             causal.event(
                 "run.meta", None,
@@ -880,6 +882,10 @@ class SparkSimCluster:
                 rendezvous_threshold=(
                     0 if mpi_world is None else int(mpi_world.model.rendezvous_threshold)
                 ),
+                seed=self.seed,
+                n_stages=len(profile.stages),
+                n_tasks=sum(s.n_tasks for s in profile.stages),
+                compute_inflation=float(self.transport.compute_inflation),
             )
         for stage in profile.stages:
             t0 = self.env.now

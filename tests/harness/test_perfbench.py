@@ -1,0 +1,165 @@
+"""Pinned-cell specs, the noise-exemption list, and the blame machinery.
+
+Fast structural tests only — nothing here simulates. The timed suite
+itself runs in ``benchmarks/test_perf_suite.py``; the blame reports run
+real cells in ``benchmarks/test_diff.py`` and ``examples/run_diff.py``.
+"""
+
+import pytest
+
+from repro.harness import perfbench
+from repro.harness.perfbench import (
+    BLAME_TRANSPORTS,
+    CELL_REPEATS,
+    CELL_SPECS,
+    PINNED_CELLS,
+    CellSpec,
+    baseline_path,
+    blame_failing_cells,
+    blame_spec,
+    noise_exempt_cells,
+    parse_blame_inject,
+    regressions,
+)
+
+
+class TestCellSpecs:
+    def test_every_cell_has_a_spec(self):
+        assert len(CELL_SPECS) >= 10
+        for name, spec in CELL_SPECS.items():
+            assert isinstance(spec, CellSpec), name
+            assert callable(spec.fn), name
+            assert spec.min_repeats >= 1, name
+            if spec.max_repeats is not None:
+                assert spec.max_repeats >= spec.min_repeats, name
+
+    def test_back_compat_views_derive_from_specs(self):
+        assert list(PINNED_CELLS) == list(CELL_SPECS)
+        assert all(PINNED_CELLS[n] is CELL_SPECS[n].fn for n in CELL_SPECS)
+        assert CELL_REPEATS == {
+            n: s.max_repeats
+            for n, s in CELL_SPECS.items()
+            if s.max_repeats is not None
+        }
+
+    def test_noise_exemption_list_is_exactly_the_runcache_cells(self):
+        # The exemption is explicit spec state now, not a name-prefix
+        # convention; this is the committed list.
+        assert noise_exempt_cells() == [
+            "runcache_groupby_4w_cold",
+            "runcache_groupby_4w_warm",
+        ]
+        for name in noise_exempt_cells():
+            spec = CELL_SPECS[name]
+            assert spec.noise_exempt
+            # every exemption must name the gate that really covers it
+            assert spec.exempt_reason
+
+    def test_heavy_cells_are_capped_to_one_repeat(self):
+        for name, cap in CELL_REPEATS.items():
+            assert cap == 1, name
+            assert not CELL_SPECS[name].noise_exempt, name
+
+
+class TestRegressions:
+    @staticmethod
+    def payload(**cells):
+        return {"cells": [
+            {"name": n, "events_per_sec": v} for n, v in cells.items()
+        ]}
+
+    def test_drop_beyond_threshold_fails(self):
+        cur = self.payload(fig8_pingpong_nio=50.0)
+        com = self.payload(fig8_pingpong_nio=100.0)
+        (failure,) = regressions(cur, com, threshold=0.30)
+        assert failure.startswith("fig8_pingpong_nio:")
+        assert "50% drop" in failure
+
+    def test_drop_within_threshold_passes(self):
+        cur = self.payload(fig8_pingpong_nio=80.0)
+        com = self.payload(fig8_pingpong_nio=100.0)
+        assert regressions(cur, com, threshold=0.30) == []
+
+    def test_noise_exempt_cells_never_gate(self):
+        # a 99% drop in an exempted cell is not a regression here — the
+        # run-cache cells are gated by warm_speedup, not events/sec.
+        cur = self.payload(runcache_groupby_4w_cold=1.0,
+                           runcache_groupby_4w_warm=1.0)
+        com = self.payload(runcache_groupby_4w_cold=100.0,
+                           runcache_groupby_4w_warm=100.0)
+        assert regressions(cur, com, threshold=0.30) == []
+
+    def test_unknown_cells_still_gate(self):
+        # a cell with no spec (e.g. comparing across versions) gets no
+        # exemption by default
+        cur = self.payload(brand_new_cell=1.0)
+        com = self.payload(brand_new_cell=100.0)
+        assert len(regressions(cur, com, threshold=0.30)) == 1
+
+
+class TestBlameKnobs:
+    def test_parse_inject_forms(self):
+        assert parse_blame_inject("serialize") == ("serialize", 2.0)
+        assert parse_blame_inject("serialize:4") == ("serialize", 4.0)
+        assert parse_blame_inject("poll-tax:1.5") == ("poll-tax", 1.5)
+        assert parse_blame_inject("") is None
+
+    def test_parse_inject_reads_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BLAME_INJECT", "poll-tax:3")
+        assert parse_blame_inject() == ("poll-tax", 3.0)
+        monkeypatch.delenv("REPRO_BLAME_INJECT")
+        assert parse_blame_inject() is None
+
+    def test_parse_inject_rejects_unknown_segment(self):
+        with pytest.raises(ValueError, match="segment must be"):
+            parse_blame_inject("compute:2")
+
+    def test_blame_specs_are_primitive_causal_cells(self):
+        for transport in BLAME_TRANSPORTS:
+            spec = blame_spec(transport)
+            assert spec[3] == transport
+            assert spec[6] is True  # causal recording on
+            assert all(
+                isinstance(x, (str, int, float, bool)) for x in spec
+            )  # pickles under any start method
+
+    def test_baseline_paths_are_committed_recordings(self):
+        for transport in BLAME_TRANSPORTS:
+            path = baseline_path(transport)
+            assert path.parts[0] == "baselines"
+            assert path.suffixes == [".jsonl", ".gz"]
+            # this repo commits all three
+            assert path.exists(), path
+
+    def test_blame_failing_cells_maps_failures_to_transports(self, monkeypatch):
+        calls = []
+
+        def fake_report(transport, out_dir="results"):
+            calls.append(transport)
+            return None, f"{out_dir}/blame_{transport}.html"
+
+        monkeypatch.setattr(perfbench, "blame_report", fake_report)
+        failures = [
+            "fig9_groupby_2w_mpi-basic: events/sec 1 vs committed 2 (50% drop)",
+            "fig10_groupby_8w_mpi-basic: events/sec 1 vs committed 2 (50% drop)",
+            "fig9_groupby_2w_nio: events/sec 1 vs committed 2 (50% drop)",
+        ]
+        reports = blame_failing_cells(failures, out_dir="out")
+        assert calls == ["mpi-basic", "nio"]  # deduped, order of appearance
+        assert reports == ["out/blame_mpi-basic.html", "out/blame_nio.html"]
+
+    def test_blame_failing_cells_skips_baseline_less_transports(
+        self, monkeypatch, tmp_path
+    ):
+        monkeypatch.setattr(perfbench, "BLAME_BASELINE_DIR", tmp_path)
+        failures = ["fig9_groupby_2w_mpi-basic: 50% drop"]
+        assert blame_failing_cells(failures) == []
+
+    def test_blame_failure_never_masks_the_gate(self, monkeypatch):
+        def exploding_report(transport, out_dir="results"):
+            raise RuntimeError("recording broke")
+
+        monkeypatch.setattr(perfbench, "blame_report", exploding_report)
+        failures = ["fig9_groupby_2w_nio: 50% drop"]
+        (report,) = blame_failing_cells(failures)
+        assert "blame report failed" in report

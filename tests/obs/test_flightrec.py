@@ -39,6 +39,90 @@ class TestRecording:
         assert FlightRecorder().capacity == DEFAULT_CAPACITY
 
 
+class TestEviction:
+    """The bounded buffer under pressure — what a committed baseline
+    recorded near capacity must still guarantee."""
+
+    def test_exactly_at_capacity_evicts_nothing(self):
+        rec = FlightRecorder(capacity=4)
+        for i in range(4):
+            rec.record(float(i), "ev", None, i=i)
+        assert len(rec) == 4 and rec.dropped == 0
+        rec.record(4.0, "ev", None, i=4)  # one past: oldest goes first
+        assert rec.dropped == 1
+        assert [ev.attrs["i"] for ev in rec.events] == [1, 2, 3, 4]
+
+    def test_tombstones_survive_eviction_of_their_spans(self):
+        # A span's open-era events may be evicted while its abort
+        # tombstone (recorded later, so younger) survives — the failure
+        # story must outlive the chatter that preceded it.
+        rec = FlightRecorder(capacity=4)
+        rec.span_open(ctx(1, 1), channel="c0")
+        rec.record(0.1, "msg.send", ctx(1, 1), nbytes=8)
+        rec.close_channel(0.2, "c0", "connection reset")  # abort + dead
+        for i in range(2):
+            rec.record(1.0 + i, "ev", None, i=i)  # push the send out
+        assert rec.dropped == 1
+        names = [ev.name for ev in rec.events]
+        assert "msg.send" not in names
+        assert "span.aborted" in names and "channel.dead" in names
+
+    def test_evicted_recording_round_trips_without_dangling_edges(self):
+        # Survivors can reference evicted parents; the JSONL round trip
+        # must preserve them verbatim, not resolve (or drop) the edge.
+        rec = FlightRecorder(capacity=3)
+        rec.record(0.0, "msg.send", ctx(1, 1), nbytes=8)       # evicted
+        rec.record(0.1, "msg.recv", ctx(1, 1), nbytes=8)       # evicted
+        rec.record(0.2, "msg.send", ctx(1, 2, 1), nbytes=16)   # parent=1
+        rec.record(0.3, "msg.recv", ctx(1, 2, 1), nbytes=16)
+        rec.record(0.4, "stage.finish", None, stage="s", seconds=0.4)
+        assert rec.dropped == 2
+        back = FlightRecorder.from_jsonl(rec.to_jsonl())
+        assert back.to_jsonl() == rec.to_jsonl()
+        assert len(back) == 3
+        # the child still names span 1 as parent even though span 1's
+        # own events are gone
+        survivors = back.by_trace(1)
+        assert {ev.parent for ev in survivors} == {1}
+        assert back.open_spans() == []
+
+    def test_from_events_grows_capacity_to_fit(self):
+        # Rebuilding from a big recorded log must not re-evict its head.
+        events = [FlightEvent(float(i), "ev", attrs={"i": i})
+                  for i in range(DEFAULT_CAPACITY + 10)]
+        rec = FlightRecorder.from_events(events)
+        assert len(rec) == DEFAULT_CAPACITY + 10
+        assert rec.dropped == 0
+        assert rec.events[0].attrs["i"] == 0
+
+    def test_from_events_explicit_capacity_and_dropped(self):
+        events = [FlightEvent(float(i), "ev", attrs={"i": i}) for i in range(6)]
+        rec = FlightRecorder.from_events(events, capacity=4, dropped=9)
+        assert len(rec) == 4
+        assert [ev.attrs["i"] for ev in rec.events] == [2, 3, 4, 5]
+        # 9 pre-declared + 2 evicted while replaying
+        assert rec.dropped == 11
+
+    def test_gzip_write_and_load_round_trip(self, tmp_path):
+        rec = FlightRecorder(capacity=4)
+        for i in range(6):
+            rec.record(float(i), "ev", ctx(1, i + 1), i=i)
+        path = rec.write(str(tmp_path / "flight.jsonl.gz"))
+        assert path.endswith(".gz")
+        raw = open(path, "rb").read()
+        assert raw[:2] == b"\x1f\x8b"  # actually gzip on disk
+        back = FlightRecorder.load_jsonl(path)
+        assert back.to_jsonl() == rec.to_jsonl()
+
+    def test_gzip_write_is_byte_deterministic(self, tmp_path):
+        # committed baselines diff clean only if the bytes never wobble
+        rec = FlightRecorder()
+        rec.record(0.0, "run.meta", None, transport="nio")
+        a = rec.write(str(tmp_path / "a.jsonl.gz"))
+        b = rec.write(str(tmp_path / "b.jsonl.gz"))
+        assert open(a, "rb").read() == open(b, "rb").read()
+
+
 class TestOpenSpans:
     def test_open_close_lifecycle(self):
         rec = FlightRecorder()

@@ -122,6 +122,49 @@ class TestHistogram:
             h2.observe(float(i))
         assert h1._samples == h2._samples
 
+    def test_decimation_boundary_exactly_at_cap(self, env):
+        # Exactly CAP observations: the window is full but untouched —
+        # decimation must not fire one observation early.
+        h = env.metrics.histogram("edge")
+        for i in range(HISTOGRAM_SAMPLE_CAP):
+            h.observe(float(i))
+        assert len(h._samples) == HISTOGRAM_SAMPLE_CAP
+        assert h._samples == [float(i) for i in range(HISTOGRAM_SAMPLE_CAP)]
+        assert h._stride == 1
+        # Observation CAP+1 halves retention (keep every other sample,
+        # double the stride) and, landing on the new stride, is kept.
+        h.observe(float(HISTOGRAM_SAMPLE_CAP))
+        assert h._stride == 2
+        assert len(h._samples) == HISTOGRAM_SAMPLE_CAP // 2 + 1
+        assert h._samples[:3] == [0.0, 2.0, 4.0]
+        assert h._samples[-1] == float(HISTOGRAM_SAMPLE_CAP)
+        # moments never decimate
+        assert h.summary().n == HISTOGRAM_SAMPLE_CAP + 1
+        assert h.summary().max == float(HISTOGRAM_SAMPLE_CAP)
+
+    def test_decimation_boundary_is_deterministic_across_registries(self):
+        # Two registries on two engines, same feed, stopped exactly at
+        # the halving point: byte-identical windows (no RNG anywhere).
+        snaps = []
+        for _ in range(2):
+            e = SimEngine()
+            h = e.metrics.histogram("lat")
+            for i in range(HISTOGRAM_SAMPLE_CAP + 1):
+                h.observe(float(i))
+            snaps.append((list(h._samples), h._stride, h.summary()))
+        assert snaps[0] == snaps[1]
+
+    def test_observe_many_respects_the_cap(self, env):
+        h = env.metrics.histogram("bulk")
+        for i in range(HISTOGRAM_SAMPLE_CAP):
+            h.observe(float(i))
+        h.observe_many(-5.0, 1000)  # window full: moments only
+        assert len(h._samples) == HISTOGRAM_SAMPLE_CAP
+        assert -5.0 not in h._samples
+        s = h.summary()
+        assert s.n == HISTOGRAM_SAMPLE_CAP + 1000
+        assert s.min == -5.0
+
 
 class TestSnapshot:
     def _populated(self, env):
@@ -175,6 +218,36 @@ class TestSnapshot:
         assert snap_b.delta(snap_a, "spark.*") == {
             "spark.scheduler.tasks_finished": 7
         }
+
+    def test_delta_across_registries_with_disjoint_lazy_counters(self):
+        # Two fresh engines whose counters are *disjoint* and published
+        # only by on_snapshot hooks — the A/B pattern the diff engine
+        # leans on: a clean run vs a faulted run of two same-seed
+        # clusters, each with its own lazily-synced hot-path counters.
+        def lazy_registry(name, value):
+            e = SimEngine()
+            c = e.metrics.counter(name)
+            state = {"n": 0}
+            e.metrics.on_snapshot(
+                lambda: c.__setattr__("value", float(state["n"]))
+            )
+            state["n"] = value
+            return e.metrics
+
+        m_a = lazy_registry("netty.loop.a.polls", 100)
+        m_b = lazy_registry("mpi.rank.r0.iprobe_calls", 7)
+        snap_a, snap_b = m_a.snapshot(), m_b.snapshot()
+        # hooks fired on each side independently
+        assert snap_a.value("netty.loop.a.polls") == 100.0
+        assert snap_b.value("mpi.rank.r0.iprobe_calls") == 7.0
+        # disjoint names: b's counters count from zero against a...
+        assert snap_b.delta(snap_a) == {"mpi.rank.r0.iprobe_calls": 7.0}
+        # ...and delta is one-directional by contract: names present
+        # only in the baseline do not appear as negative entries.
+        assert "netty.loop.a.polls" not in snap_b.delta(snap_a)
+        assert snap_a.delta(snap_b) == {"netty.loop.a.polls": 100.0}
+        # glob filtering still applies across the disjoint sets
+        assert snap_b.delta(snap_a, "netty.*") == {}
 
     def test_as_dict_is_json_roundtrippable(self, env):
         snap = self._populated(env)
