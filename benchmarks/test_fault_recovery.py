@@ -35,7 +35,14 @@ CELLS = [
     ("mpi-basic", "abort"),
     ("mpi-opt", "abort"),
     ("mpi-opt", "shrink"),
+    ("mpi-coll", "abort"),
+    ("mpi-coll", "shrink"),
 ]
+
+# The collective transport drains the whole exchange so fast that at the
+# reduced 64 MiB geometry the 5 ms crash lands after the job is already
+# done; its cells shuffle 256 MiB so the fault hits mid-alltoallv.
+COLL_SHUFFLE_BYTES = 256 * MiB
 
 
 def the_plan():
@@ -56,7 +63,7 @@ def make_cell(transport, mode):
         plan=the_plan(),
         mpi_fault_mode=mode,
         cores_per_executor=4,
-        shuffle_bytes=SHUFFLE_BYTES,
+        shuffle_bytes=COLL_SHUFFLE_BYTES if transport == "mpi-coll" else SHUFFLE_BYTES,
         deadline_s=120.0,
     )
 
@@ -81,15 +88,20 @@ def test_fault_recovery_matrix(benchmark):
         assert r.recovery_seconds > 0
 
     # Default MPI semantics: one dead rank aborts the world -> job lost.
-    for cell in [("mpi-basic", "abort"), ("mpi-opt", "abort")]:
+    # The collective transport is no exception: a participant dying
+    # mid-alltoallv kills the world under MPI_ERRORS_ARE_FATAL.
+    for cell in [("mpi-basic", "abort"), ("mpi-opt", "abort"),
+                 ("mpi-coll", "abort")]:
         r = by[cell]
         assert not r.job_completed, r.render()
         assert "abort" in r.job_failure.lower()
 
-    # ULFM-style shrinking restores Spark-level recoverability.
-    shrink = by[("mpi-opt", "shrink")]
-    assert shrink.job_completed, shrink.render()
-    assert shrink.stage_resubmissions >= 1
+    # ULFM-style shrinking restores Spark-level recoverability: the failed
+    # exchange surfaces as a fetch failure and the stage is resubmitted.
+    for cell in [("mpi-opt", "shrink"), ("mpi-coll", "shrink")]:
+        shrink = by[cell]
+        assert shrink.job_completed, shrink.render()
+        assert shrink.stage_resubmissions >= 1
 
 
 def test_reports_are_deterministic(benchmark):

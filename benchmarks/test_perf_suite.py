@@ -19,6 +19,7 @@ import pytest
 from benchmarks.conftest import RESULTS_DIR
 from repro.harness import ledger
 from repro.harness.perfbench import (
+    COLL_PAIRS,
     PINNED_CELLS,
     blame_failing_cells,
     PRE_PR_BASELINE,
@@ -89,6 +90,26 @@ def test_fluid_rerate_scale_cells_and_baseline(payload):
     by_name = {c["name"]: c for c in payload["cells"]}
     assert by_name["fig10_groupby_32w_mpi-basic"]["events_processed"] > 2_000_000
     assert by_name["scale_groupby_64w_mpi-basic"]["events_processed"] > 1_500_000
+
+
+def test_collective_pair_event_collapse(payload):
+    # The collective-shuffle pass as a kernel-cost claim: draining the
+    # fig9 exchange through one alltoallv per boundary instead of
+    # per-chunk request/response collapses the cell's event count, so
+    # the old/new host-wall ratio is large while events/sec stays flat
+    # (the kernel itself got neither faster nor slower).
+    block = payload["coll_baseline"]
+    assert block["pairs"] == [list(p) for p in COLL_PAIRS]
+    by_name = {c["name"]: c for c in payload["cells"]}
+    for old_name, new_name in COLL_PAIRS:
+        assert block["wall_ratio"][new_name] >= 10.0, (
+            f"{new_name}: only {block['wall_ratio'][new_name]:.1f}x "
+            "fewer host-wall seconds than its per-block twin"
+        )
+        assert (
+            by_name[new_name]["events_processed"]
+            < by_name[old_name]["events_processed"] / 10
+        )
 
 
 def test_run_cache_warm_speedup_and_no_resimulation(payload):

@@ -2,8 +2,9 @@
 """OHB GroupByTest on the simulated Frontera cluster, across transports.
 
 Reproduces one cell of the paper's Fig-10: a 28 GiB GroupByTest on 2
-Frontera workers (112 cores), run under Vanilla Spark (IPoIB), RDMA-Spark
-and MPI4Spark (both designs), printing the per-stage breakdown.
+Frontera workers (112 cores), run under Vanilla Spark (IPoIB), RDMA-Spark,
+MPI4Spark (both designs) and the collective shuffle plan, printing the
+per-stage breakdown.
 
 Run:  python examples/cluster_shuffle.py
 """
@@ -13,12 +14,13 @@ from repro.spark.deploy import SparkSimCluster
 from repro.util.units import GiB, fmt_time
 from repro.workloads.ohb import GROUP_BY
 
-TRANSPORTS = ["nio", "rdma", "mpi-basic", "mpi-opt"]
+TRANSPORTS = ["nio", "rdma", "mpi-basic", "mpi-opt", "mpi-coll"]
 LEGEND = {
     "nio": "Vanilla Spark (IPoIB)",
     "rdma": "RDMA-Spark",
     "mpi-basic": "MPI4Spark-Basic",
     "mpi-opt": "MPI4Spark-Optimized",
+    "mpi-coll": "MPI4Spark-Collective",
 }
 
 

@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""Collective shuffle smoke — and the CI ``coll-smoke`` gate.
+
+Runs the fig9-style GroupBy cell (2 simulated Frontera workers, 4 GiB,
+fidelity 0.1) with causal flight recording under MPI4Spark-Optimized
+(per-block ChunkFetch) and the collective transport (one alltoallv per
+stage boundary), then:
+
+* prints both critical-path decompositions and asserts the collective
+  plan cuts the fetch-wait+queue sum by at least 30%,
+* diffs the two recordings with ``repro.obs.diff`` — the sum identity
+  must hold and the blame must land on the fetch segments,
+* writes ``results/coll_critpath.html`` (both runs' critical paths,
+  Gantt and planner sections) and ``results/coll_opt_vs_coll.html``
+  (the per-segment delta waterfall) for CI to upload.
+
+Exit is non-zero unless (a) the fetch-wait+queue reduction clears 30%,
+(b) the diff's attribution identity checks, and (c) fetch-wait+queue
+explain at least half of the measured wall delta.
+
+Run:   python examples/coll_smoke.py
+"""
+
+import pathlib
+import sys
+
+from repro.harness.parallel import run_ohb_cells
+from repro.obs import critical_path, diff_runs, write_diff_report, write_report
+from repro.util.units import GiB
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUT_CRITPATH = ROOT / "results" / "coll_critpath.html"
+OUT_DIFF = ROOT / "results" / "coll_opt_vs_coll.html"
+
+# The acceptance threshold: the collective plan must remove at least
+# this share of the per-block critical path's fetch-wait+queue time.
+MIN_REDUCTION = 0.30
+# And the diff must attribute at least this share of the wall delta to
+# the fetch segments (measured share is ~1.0; see EXPERIMENTS.md).
+MIN_FETCH_BLAME_SHARE = 0.5
+
+TRANSPORTS = ("mpi-opt", "mpi-coll")
+
+
+def check(name: str, ok: bool, detail: str = "") -> bool:
+    print(f"  [{'ok' if ok else 'FAIL'}] {name}" + (f": {detail}" if detail else ""))
+    return ok
+
+
+def main() -> int:
+    specs = [
+        ("GroupByTest", 2, 4 * GiB, transport, 0.1, "Frontera", True)
+        for transport in TRANSPORTS
+    ]
+    cells = run_ohb_cells(specs)
+    results = {c.transport: c.result for c in cells}
+    reports = {t: critical_path(results[t]) for t in TRANSPORTS}
+
+    for t in TRANSPORTS:
+        print(f"\n=== critical path [{t}] ===")
+        print(reports[t].render())
+
+    fwq = {
+        t: reports[t].segment_seconds("fetch-wait")
+        + reports[t].segment_seconds("queue")
+        for t in TRANSPORTS
+    }
+    reduction = 1.0 - fwq["mpi-coll"] / fwq["mpi-opt"]
+    print(
+        f"\nfetch-wait+queue: opt={fwq['mpi-opt']:.4f}s "
+        f"coll={fwq['mpi-coll']:.4f}s  reduction={reduction:.1%}"
+    )
+
+    diff = diff_runs(
+        results["mpi-opt"], results["mpi-coll"],
+        a_label="mpi-opt", b_label="mpi-coll",
+    )
+    print()
+    print(diff.render())
+
+    OUT_CRITPATH.parent.mkdir(exist_ok=True)
+    write_report(
+        str(OUT_CRITPATH),
+        [(results[t], reports[t]) for t in TRANSPORTS],
+        title="GroupByTest 4 GiB — per-block vs collective critical paths",
+    )
+    print(f"\nwrote {OUT_CRITPATH}")
+    write_diff_report(
+        str(OUT_DIFF),
+        diff,
+        results["mpi-opt"].flight,
+        results["mpi-coll"].flight,
+        title="blame report: mpi-opt vs mpi-coll [GroupByTest 4 GiB]",
+    )
+    print(f"wrote {OUT_DIFF}")
+
+    print("\nchecks:")
+    ok = check(
+        f"fetch-wait+queue reduced >= {MIN_REDUCTION:.0%}",
+        fwq["mpi-opt"] > 0 and reduction >= MIN_REDUCTION,
+        f"{reduction:.1%}",
+    )
+    try:
+        diff.check()
+        ok &= check("diff attribution identity", True)
+    except AssertionError as exc:
+        ok &= check("diff attribution identity", False, str(exc))
+    ok &= check(
+        "collective run is faster", diff.wall_delta_s < 0,
+        f"wall delta {diff.wall_delta_s:+.4f}s",
+    )
+    fetch_side = diff.segment_delta("fetch-wait") + diff.segment_delta("queue")
+    share = abs(fetch_side) / abs(diff.wall_delta_s) if diff.wall_delta_s else 0.0
+    ok &= check(
+        f"fetch segments explain >= {MIN_FETCH_BLAME_SHARE:.0%} of the delta",
+        fetch_side < 0 and share >= MIN_FETCH_BLAME_SHARE,
+        f"{share:.1%}",
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -108,6 +108,10 @@ class ResilientScheduler:
         self._running: dict["Process", SimExecutor] = {}
         self._last_write: ShuffleWriteStage | None = None
         self._fetch_failed_execs: set[int] = set()
+        # Collective transports: the current stage attempt's shared
+        # alltoallv exchange (None on per-block transports). Rebuilt per
+        # attempt so resubmission re-plans the traffic onto survivors.
+        self._current_exchange = None
         # Hook: called with each stage right before it starts (the chaos
         # harness arms the fault injector at the shuffle-read stage).
         self.on_stage_start = None
@@ -206,6 +210,25 @@ class ResilientScheduler:
                 )
             self._fetch_failed_execs = set()
             pending = [t for t in range(stage.n_tasks) if t not in finished]
+            self._current_exchange = None
+            if isinstance(stage, ShuffleReadStage) and getattr(
+                self.sim.transport, "collective_shuffle", False
+            ):
+                # One alltoallv per stage attempt: aggregate the pending
+                # tasks' (possibly recovery-rewritten) fetch rows at their
+                # planned executors. A participant dying mid-exchange fails
+                # the whole exchange → FetchFailedException → this loop's
+                # resubmission path, never a hang.
+                placement: dict[int, int] = {}
+                for t in pending:
+                    ex = self._pick_executor(t)
+                    if ex is None:
+                        raise JobFailedError("no live executors left")
+                    placement[t] = ex.exec_id
+                self._current_exchange = self.sim.start_collective_exchange(
+                    stage, self.sim.executors, tasks=pending,
+                    placement=placement,
+                )
             sups = [
                 env.process(
                     self._supervise(stage, t, finished, durations),
@@ -432,14 +455,22 @@ class ResilientScheduler:
                 if local > 0:
                     ex.bytes_read_local += int(local)
                     yield env.timeout(local / RAMDISK_READ_BPS)
-                # Dead sources are NOT filtered here: fetching from them is
-                # what raises FetchFailedException and triggers recovery.
-                sources = [
-                    (src, int(fetch_row[src.exec_id]), int(blocks_row[src.exec_id]))
-                    for src in self.sim.executors
-                    if src.exec_id != ex.exec_id and fetch_row[src.exec_id] > 0
-                ]
-                yield from ex.fetch_shuffle(sources)
+                if self._current_exchange is not None:
+                    # Collective transport: wait on the attempt's shared
+                    # exchange (dead participants fail it → FetchFailed).
+                    remote = float(fetch_row.sum() - fetch_row[ex.exec_id])
+                    yield from ex.collective_fetch(
+                        self._current_exchange, self.sim.executors, remote
+                    )
+                else:
+                    # Dead sources are NOT filtered here: fetching from them
+                    # is what raises FetchFailedException, triggering recovery.
+                    sources = [
+                        (src, int(fetch_row[src.exec_id]), int(blocks_row[src.exec_id]))
+                        for src in self.sim.executors
+                        if src.exec_id != ex.exec_id and fetch_row[src.exec_id] > 0
+                    ]
+                    yield from ex.fetch_shuffle(sources)
                 yield env.timeout(float(stage.combine_seconds_per_task[t]) * infl)
             else:
                 raise TypeError(f"unknown stage type {type(stage)}")

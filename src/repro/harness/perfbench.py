@@ -103,6 +103,24 @@ PRE_VEC_PAIRED_EPS_RATIO: dict[str, float] = {
     "scale_groupby_64w_mpi-basic": 1.22,
 }
 
+# Paired measurement for the collective-shuffle pass.  Unlike PRE_PR /
+# PRE_VEC — where old and new are two *trees* timing identical cells —
+# both shuffle plans ship in this tree, so the "old" side is the same
+# fig9 GroupBy cell drained by per-block ChunkFetch (mpi-opt) and the
+# pair is re-measured live on every suite run (coll_baseline block).
+# The committed reference ratio below is min-of-3 alternating processes
+# on the machine that produced this file.  The host-wall win is an
+# event-count collapse — one alltoallv per boundary replaces ~60k
+# per-chunk kernel events with ~800 — so events/sec stays flat while
+# wall drops ~80x.  Simulated-time wins (the >=30% fetch-wait+queue
+# cut) are gated in benchmarks/test_fig9_opt_vs_coll.py, not here.
+COLL_PAIRS: list[tuple[str, str]] = [
+    ("fig9_groupby_2w_mpi-opt", "fig9_groupby_2w_mpi-coll"),
+]
+PRE_COLL_PAIRED_WALL_RATIO: dict[str, float] = {
+    "fig9_groupby_2w_mpi-coll": 80.7,
+}
+
 
 @dataclass
 class PerfCell:
@@ -326,6 +344,9 @@ CELL_SPECS: dict[str, CellSpec] = {
         lambda: _ohb_cell(2, 28 * GiB, "mpi-basic", obs_causal=True)
     ),
     "fig9_groupby_2w_mpi-opt": CellSpec(lambda: _ohb_cell(2, 28 * GiB, "mpi-opt")),
+    # The collective-shuffle pair's new side (old side = the mpi-opt cell
+    # above); also the kernel-cost pin for the alltoallv exchange path.
+    "fig9_groupby_2w_mpi-coll": CellSpec(lambda: _ohb_cell(2, 28 * GiB, "mpi-coll")),
     "fig10_groupby_8w_mpi-basic": CellSpec(
         lambda: _ohb_cell(8, 8 * 14 * GiB, "mpi-basic")
     ),
@@ -344,6 +365,11 @@ CELL_SPECS: dict[str, CellSpec] = {
     ),
     "fig12_terasort_frontera_mpi-opt": CellSpec(
         lambda: _hibench_cell("TeraSort", "mpi-opt")
+    ),
+    # The collective plan at fig-10 scale: 8 workers keep the cell's
+    # event count high enough for a stable events/sec pin.
+    "fig10_groupby_8w_mpi-coll": CellSpec(
+        lambda: _ohb_cell(8, 8 * 14 * GiB, "mpi-coll")
     ),
     # Trace-cache cold/warm pairs: same fig-10 / fig-12 cells' profile
     # construction, differing only in cache temperature. Warm must skip
@@ -479,6 +505,14 @@ def run_perf_suite(
         for r in rows
         if PRE_VEC_BASELINE.get(r.name) and r.wall_seconds > 0
     }
+    # Collective-shuffle pair: both plans run in this tree, so the
+    # old/new wall ratio is re-measured live each suite run and reported
+    # next to the committed alternating-process reference.
+    coll_wall_ratio = {}
+    for old_name, new_name in COLL_PAIRS:
+        old, new = by_name.get(old_name), by_name.get(new_name)
+        if old is not None and new is not None and new.wall_seconds > 0:
+            coll_wall_ratio[new_name] = old.wall_seconds / new.wall_seconds
     return {
         "schema": SCHEMA,
         "host": {
@@ -505,6 +539,19 @@ def run_perf_suite(
                 (*speedups.values(), *PRE_PR_PAIRED_SPEEDUP.values()),
                 default=None,
             ),
+        },
+        "coll_baseline": {
+            "description": (
+                "per-block ChunkFetch (mpi-opt) vs one alltoallv per "
+                "stage boundary (mpi-coll) on the same fig9 GroupBy "
+                "cell; wall_ratio is old/new host wall measured live "
+                "this run, paired_wall_ratio the committed min-of-3 "
+                "alternating-process reference; simulated-time wins are "
+                "gated in benchmarks/test_fig9_opt_vs_coll.py"
+            ),
+            "pairs": [list(p) for p in COLL_PAIRS],
+            "wall_ratio": coll_wall_ratio,
+            "paired_wall_ratio": dict(PRE_COLL_PAIRED_WALL_RATIO),
         },
         "fluid_baseline": {
             "description": (

@@ -274,6 +274,21 @@ class Intracomm(Comm):
         result = yield from _coll.alltoall(self, objs)
         return result
 
+    def alltoallv(
+        self,
+        objs: Sequence[Any],
+        nbytes: Sequence[int] | None = None,
+        tag: int | None = None,
+        trace_parent: Any = None,
+        ranks: Sequence[int] | None = None,
+    ) -> Generator:
+        """Variable-sized alltoall; see :func:`repro.mpi.collectives.alltoallv`."""
+        result = yield from _coll.alltoallv(
+            self, objs, nbytes=nbytes, tag=tag, trace_parent=trace_parent,
+            ranks=ranks,
+        )
+        return result
+
     def spawn_multiple(self, specs, root: int = 0) -> Generator:
         """Launch child processes with DPM (MPI_Comm_spawn_multiple).
 

@@ -15,7 +15,8 @@ _DEFAULTS: dict[str, Any] = {
     "spark.reducer.maxSizeInFlight": "48m",
     "spark.reducer.maxReqsInFlight": "5",
     "spark.shuffle.compress": "true",
-    # Transport selection: nio (vanilla) | rdma | mpi-basic | mpi-opt
+    # Transport selection:
+    #   nio (vanilla) | rdma | mpi-basic | mpi-opt | mpi-coll
     "spark.repro.transport": "nio",
     # Determinism: seeds the simulation engine's RNG (repro.util.rng).
     "spark.repro.seed": "0",

@@ -73,6 +73,10 @@ PER_BLOCK_CLIENT_S = 0.8 * US
 # Extra header bytes per additional block aggregated into one chunk.
 PER_BLOCK_WIRE_BYTES = 48
 
+# Collective shuffle exchanges draw matching tags upward from here so they
+# never collide with the small per-handle collective sequence numbers.
+_COLL_TAG_BASE = 1 << 20
+
 # Failures a reduce task converts into FetchFailedException (the Spark
 # scheduler's stage-resubmission trigger). WorldAbortedError is excluded:
 # an aborted MPI world means the whole job is gone, not one map output.
@@ -365,6 +369,42 @@ class SimExecutor:
                 if blk > 1:
                     yield env.timeout((blk - 1) * PER_BLOCK_CLIENT_S)
 
+    def collective_fetch(
+        self,
+        exchange,
+        peers: "list[SimExecutor]",
+        remote_bytes: float,
+        app: AppHandle | None = None,
+    ) -> Generator:
+        """Collective-transport stand-in for :meth:`fetch_shuffle`.
+
+        Under ``mpi-coll`` the stage's whole traffic matrix moves in one
+        alltoallv (:class:`~repro.transports.mpi_coll.CollectiveShuffleExchange`)
+        started at the stage boundary; each reduce task just waits on the
+        shared exchange here.  Exchange failures surface exactly like
+        per-block fetch failures: a dead participant becomes a
+        :class:`FetchFailedException` attributed to that executor (stage
+        resubmission), a world abort stays fatal to the job.
+        """
+        tm = self._metrics_for(app)
+        if self.endpoint is not None and self.endpoint.proc.world.aborted:
+            raise WorldAbortedError("MPI world aborted; executor cannot shuffle")
+        try:
+            yield from exchange.wait()
+        except WorldAbortedError:
+            raise
+        except _FETCHABLE_ERRORS as exc:
+            idx = exchange.failed_member()
+            src = peers[idx] if idx is not None and idx < len(peers) else None
+            raise FetchFailedException(
+                self.address if src is None else src.address,
+                str(exc),
+                exec_id=None if src is None else src.exec_id,
+            ) from exc
+        if remote_bytes > 0:
+            self.bytes_fetched_remote += int(remote_bytes)
+            tm.remote_bytes.inc(remote_bytes)
+
     # -- task runners -------------------------------------------------------------
     def _task_start(self, label: str):
         """Open a causal root for one task (None when tracing is off)."""
@@ -448,6 +488,7 @@ class SimExecutor:
         peers: "list[SimExecutor] | None" = None,
         col: int | None = None,
         rot: int | None = None,
+        exchange=None,
     ) -> Generator:
         """One reduce task: local read + windowed remote fetch + combine.
 
@@ -456,6 +497,11 @@ class SimExecutor:
         this task's local read. The defaults (whole cluster, own exec id)
         are the single-application geometry; a packed multi-tenant app
         passes its granted executor subset instead.
+
+        ``exchange`` (collective transports only) is the stage boundary's
+        shared :class:`CollectiveShuffleExchange`: instead of issuing
+        per-block fetches, the task waits on it — its fetch-wait is the
+        time until the stage's one alltoallv completes.
         """
         if peers is None:
             peers = self.sim.executors
@@ -485,14 +531,22 @@ class SimExecutor:
                     local_read = local / RAMDISK_READ_BPS
                     yield self.sim.env.timeout(local_read)
                 # Remote blocks: through the transport under test.
-                sources = [
-                    (src, int(fetch_bytes[i]), int(blocks[i]))
-                    for i, src in enumerate(peers)
-                    if i != col and fetch_bytes[i] > 0
-                ]
-                yield from self.fetch_shuffle(
-                    sources, trace_parent=ctx, app=app, rot=rot
-                )
+                if exchange is not None:
+                    remote = float(
+                        sum(fetch_bytes[i] for i in range(len(peers)) if i != col)
+                    )
+                    yield from self.collective_fetch(
+                        exchange, peers, remote, app=app
+                    )
+                else:
+                    sources = [
+                        (src, int(fetch_bytes[i]), int(blocks[i]))
+                        for i, src in enumerate(peers)
+                        if i != col and fetch_bytes[i] > 0
+                    ]
+                    yield from self.fetch_shuffle(
+                        sources, trace_parent=ctx, app=app, rot=rot
+                    )
                 fetch_wait = self.sim.env.now - t_fetch
                 tm.fetch_wait.inc(fetch_wait)
                 tm.h_fetch_wait.observe(fetch_wait)
@@ -598,6 +652,11 @@ class SparkSimCluster:
         self.launch_seconds = 0.0
         self._launched = False
         self._shutdown = False
+        # Collective shuffle (mpi-coll): each stage boundary's exchange
+        # draws a cluster-unique matching tag from this counter so
+        # concurrent exchanges (multi-tenant apps, resubmitted stage
+        # attempts) can never cross-match on the shared DPM communicator.
+        self._coll_tag_seq = itertools.count()
         # Multi-tenant state: registered applications and their metric
         # bundles (the anonymous bundle keeps the legacy names).
         self.apps: dict[int, AppHandle] = {}
@@ -907,6 +966,43 @@ class SparkSimCluster:
             result.flight = causal.flight
         return result
 
+    def start_collective_exchange(
+        self,
+        stage,
+        executors: "list[SimExecutor]",
+        app: AppHandle | None = None,
+        tasks=None,
+        placement: dict[int, int] | None = None,
+    ):
+        """One stage boundary's alltoallv exchange (collective transports).
+
+        Aggregates the :class:`ShuffleReadStage` fetch matrix over its
+        reduce tasks into an executor-pair byte matrix and launches a
+        :class:`~repro.transports.mpi_coll.CollectiveShuffleExchange`
+        over the executors' DPM communicator.  ``tasks``/``placement``
+        restrict and re-home the aggregation (the resilient scheduler's
+        per-attempt view: only still-pending tasks, moved onto
+        survivors); the defaults cover every task at its preferred
+        ``t % n_exec`` executor.  The matching tag is cluster-unique so
+        concurrent exchanges never cross-match.
+        """
+        n = len(executors)
+        totals = np.zeros((n, n), dtype=float)
+        task_ids = range(stage.n_tasks) if tasks is None else tasks
+        for t in task_ids:
+            d = (t % n) if placement is None else placement[t]
+            totals[d] += stage.fetch_bytes[t]
+        np.fill_diagonal(totals, 0.0)  # local reads never ride the wire
+        label = ("" if app is None else f"{app.name}:") + stage.label
+        # User tags live in [0, MAX_TAG); collective handles draw small
+        # sequence numbers, so exchange tags start high to stay disjoint.
+        tag = (_COLL_TAG_BASE + next(self._coll_tag_seq)) % (1 << 24)
+        members = [
+            (ex.endpoint.proc.comm_world.rank, ex.endpoint.proc)
+            for ex in executors
+        ]
+        return self.transport.start_exchange(label, members, totals, tag)
+
     def _spawn_stage_tasks(self, stage, app: AppHandle | None = None) -> list:
         from repro.util.rng import derive_seed
 
@@ -914,6 +1010,14 @@ class SparkSimCluster:
         executors = self.app_executors(app)
         n_exec = len(executors)
         prefix = "" if app is None else f"{app.name}:"
+        exchange = None
+        if isinstance(stage, ShuffleReadStage) and getattr(
+            self.transport, "collective_shuffle", False
+        ):
+            # The fetch phase degenerates into one collective per stage
+            # boundary: all map→reduce bytes start moving now, and every
+            # reduce task below just waits on this shared exchange.
+            exchange = self.start_collective_exchange(stage, executors, app)
         for t in range(stage.n_tasks):
             ex = executors[t % n_exec]
             task_label = f"{prefix}{stage.label}-task{t}"
@@ -946,6 +1050,7 @@ class SparkSimCluster:
                     peers=executors,
                     col=t % n_exec,
                     rot=rot,
+                    exchange=exchange,
                 )
             else:
                 raise TypeError(f"unknown stage type {type(stage)}")

@@ -2,6 +2,7 @@
 
 from repro.transports.base import Transport
 from repro.transports.mpi_basic import MpiBasicTransport
+from repro.transports.mpi_coll import MpiCollectiveTransport
 from repro.transports.mpi_opt import MpiOptimizedTransport
 from repro.transports.nio import NioTransport
 from repro.transports.rdma import RdmaTransport
@@ -11,6 +12,7 @@ TRANSPORTS: dict[str, type[Transport]] = {
     "rdma": RdmaTransport,
     "mpi-basic": MpiBasicTransport,
     "mpi-opt": MpiOptimizedTransport,
+    "mpi-coll": MpiCollectiveTransport,
 }
 
 # Friendly aliases matching the paper's figure legends.
@@ -22,6 +24,9 @@ ALIASES = {
     "mpi4spark": "mpi-opt",
     "mpi4spark-basic": "mpi-basic",
     "mpi4spark-optimized": "mpi-opt",
+    "coll": "mpi-coll",
+    "alltoallv": "mpi-coll",
+    "mpi4spark-collective": "mpi-coll",
 }
 
 
@@ -50,6 +55,7 @@ __all__ = [
     "NioTransport",
     "RdmaTransport",
     "MpiBasicTransport",
+    "MpiCollectiveTransport",
     "MpiOptimizedTransport",
     "TRANSPORTS",
     "ALIASES",

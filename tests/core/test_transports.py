@@ -14,11 +14,13 @@ from repro.util.units import KiB, MiB
 
 
 class TestTransportRegistry:
-    def test_four_transports(self):
-        assert set(TRANSPORTS) == {"nio", "rdma", "mpi-basic", "mpi-opt"}
+    def test_five_transports(self):
+        assert set(TRANSPORTS) == {"nio", "rdma", "mpi-basic", "mpi-opt", "mpi-coll"}
 
     @pytest.mark.parametrize("alias,target", [("vanilla", "nio"), ("ipoib", "nio"),
-                                              ("mpi4spark", "mpi-opt"), ("rdma-spark", "rdma")])
+                                              ("mpi4spark", "mpi-opt"), ("rdma-spark", "rdma"),
+                                              ("coll", "mpi-coll"),
+                                              ("mpi4spark-collective", "mpi-coll")])
     def test_aliases(self, alias, target):
         env = SimEngine()
         cluster = SimCluster(env, IB_HDR, n_nodes=2, cores_per_node=2)
